@@ -1,0 +1,92 @@
+//! Mapping-service throughput: records → weighted grid cells.
+//!
+//! §3.2.3 claims the mapping cost depends only on the BK's granularity
+//! and fuzziness ("a fine-grained and overlapping BK will produce much
+//! more cells than a coarse and crisp one"); the overlap sweep makes
+//! that visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fuzzy::bk::{AttributeVocabulary, BackgroundKnowledge};
+use fuzzy::partition::FuzzyPartition;
+use rand::SeedableRng;
+use relation::generator::{random_patient, PatientDistributions};
+use relation::schema::Schema;
+use saintetiq::mapping::Mapper;
+
+fn bench_medical_mapping(c: &mut Criterion) {
+    let mapper =
+        Mapper::bind(BackgroundKnowledge::medical_cbk(), &Schema::patient()).expect("binds");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let dist = PatientDistributions::default();
+    let rows: Vec<Vec<relation::value::Value>> =
+        (0..1_000).map(|_| random_patient(&mut rng, &dist)).collect();
+
+    let mut group = c.benchmark_group("mapping");
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.bench_function("medical_1k_records", |b| {
+        b.iter(|| {
+            let mut cells = 0usize;
+            for row in &rows {
+                cells += mapper.map_record(row).expect("mappable").len();
+            }
+            cells
+        })
+    });
+    group.finish();
+}
+
+/// Fuzzier partitions (wider overlaps) produce more cells per record.
+fn bench_overlap_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_overlap");
+    for &core_frac in &[0.9f64, 0.5, 0.2] {
+        let mut bk = BackgroundKnowledge::new(format!("overlap-{core_frac}"));
+        for i in 0..3 {
+            bk.push_attribute(AttributeVocabulary::Numeric(
+                FuzzyPartition::uniform(format!("attr{i}"), (0.0, 100.0), "v", 5, core_frac)
+                    .expect("valid partition"),
+            ))
+            .expect("fresh attribute");
+        }
+        let schema = Schema::new(
+            (0..3)
+                .map(|i| {
+                    relation::schema::Attribute::new(
+                        format!("attr{i}"),
+                        relation::schema::AttrType::Float,
+                    )
+                })
+                .collect(),
+        )
+        .expect("unique names");
+        let mapper = Mapper::bind(bk, &schema).expect("binds");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let rows: Vec<Vec<relation::value::Value>> = (0..500)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        relation::value::Value::Float(
+                            rand::Rng::gen_range(&mut rng, 0.0..100.0),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("core{core_frac}")),
+            &rows,
+            |b, rows| {
+                b.iter(|| {
+                    let mut cells = 0usize;
+                    for row in rows {
+                        cells += mapper.map_record(row).expect("mappable").len();
+                    }
+                    cells
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_medical_mapping, bench_overlap_sweep);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! §6.1.1's merging claim: "the complexity CM12 of the Merging(S1, S2)
+//! process is constant w.r.t. the number of tuples" — it depends only on
+//! the number of leaves of S1.
+//!
+//! We build S1 from 100, 1 000 and 10 000 tuples over the same BK (the
+//! leaf count saturates at the grid size) and merge it into a fixed S2:
+//! the three timings must sit within a small constant factor, not scale
+//! 100×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fuzzy::bk::BackgroundKnowledge;
+use rand::SeedableRng;
+use relation::generator::{patient_table, MatchTarget, PatientDistributions};
+use relation::schema::Schema;
+use saintetiq::cell::SourceId;
+use saintetiq::engine::{EngineConfig, SaintEtiQEngine};
+use saintetiq::hierarchy::SummaryTree;
+use saintetiq::merge::merge_into;
+
+fn summary_of(n_tuples: usize, seed: u64, source: u32) -> SummaryTree {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = PatientDistributions::default();
+    let table = patient_table(&mut rng, n_tuples, &dist, &MatchTarget::default(), 0);
+    let mut e = SaintEtiQEngine::new(
+        BackgroundKnowledge::medical_cbk(),
+        &Schema::patient(),
+        EngineConfig::default(),
+        SourceId(source),
+    )
+    .expect("CBK binds");
+    e.summarize_table(&table);
+    e.into_tree()
+}
+
+fn bench_merge_vs_tuples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_vs_tuples");
+    group.sample_size(20);
+    let target_base = summary_of(1_000, 99, 2);
+    for &n in &[100usize, 1_000, 10_000] {
+        let source = summary_of(n, 7, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &source,
+            |b, source| {
+                b.iter(|| {
+                    let mut target = target_base.clone();
+                    merge_into(&mut target, source, &EngineConfig::default())
+                        .expect("same CBK");
+                    target.leaf_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The actual driver of merge cost: the leaf count of S1, controlled via
+/// grid granularity.
+fn bench_merge_vs_leaves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_vs_leaves");
+    group.sample_size(20);
+    for &labels in &[2usize, 4, 8] {
+        let bk = BackgroundKnowledge::synthetic(3, labels).expect("valid BK");
+        let schema = relation::schema::Schema::new(
+            (0..3)
+                .map(|i| {
+                    relation::schema::Attribute::new(
+                        format!("attr{i}"),
+                        relation::schema::AttrType::Float,
+                    )
+                })
+                .collect(),
+        )
+        .expect("unique names");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let table = relation::generator::numeric_table(&mut rng, 2_000, 3, (0.0, 100.0));
+        let build = |source: u32| {
+            let mut e =
+                SaintEtiQEngine::new(bk.clone(), &schema, EngineConfig::default(), SourceId(source))
+                    .expect("BK binds");
+            e.summarize_table(&table);
+            e.into_tree()
+        };
+        let s1 = build(1);
+        let s2 = build(2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{labels}labels_{}leaves", s1.leaf_count())),
+            &(s1, s2),
+            |b, (s1, s2)| {
+                b.iter(|| {
+                    let mut target = s2.clone();
+                    merge_into(&mut target, s1, &EngineConfig::default()).expect("same CBK");
+                    target.leaf_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_vs_tuples, bench_merge_vs_leaves);
+criterion_main!(benches);

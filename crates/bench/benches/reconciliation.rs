@@ -1,0 +1,89 @@
+//! Reconciliation-path benchmarks (§4.2.2): the cost of rebuilding a
+//! global summary as the token visits every live partner, plus the
+//! ring-vs-star ablation DESIGN.md calls out.
+//!
+//! The paper distributes the merge work along the ring so the SP does
+//! one store; the star alternative makes the SP merge every local
+//! summary itself. Total merge work is identical — the ablation shows
+//! the *SP-side* work differs, which is the point of the ring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bytes::Bytes;
+use fuzzy::bk::BackgroundKnowledge;
+use rand::SeedableRng;
+use saintetiq::engine::EngineConfig;
+use saintetiq::hierarchy::SummaryTree;
+use saintetiq::merge::merge_into;
+use saintetiq::wire;
+use summary_p2p::workload::{generate_peer_data, make_templates};
+
+fn local_summaries(peers: usize, seed: u64) -> Vec<Bytes> {
+    let bk = BackgroundKnowledge::medical_cbk();
+    let templates = make_templates(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..peers)
+        .map(|p| generate_peer_data(&mut rng, p as u32, &bk, &templates, 0.1, 24).summary)
+        .collect()
+}
+
+/// Full reconciliation rebuild: decode + merge every partner.
+fn bench_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconciliation_rebuild");
+    group.sample_size(10);
+    for &peers in &[50usize, 200, 1_000] {
+        let summaries = local_summaries(peers, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(peers),
+            &summaries,
+            |b, summaries| {
+                b.iter(|| {
+                    let mut gs = SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
+                    for s in summaries {
+                        let tree = wire::decode(s).expect("decodes");
+                        merge_into(&mut gs, &tree, &EngineConfig::default())
+                            .expect("same CBK");
+                    }
+                    gs.leaf_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ring vs star: the SP-side share of the merging work. In the ring the
+/// SP only stores the final tree (modelled as one decode); in the star
+/// it performs all merges.
+fn bench_ring_vs_star(c: &mut Criterion) {
+    let peers = 200usize;
+    let summaries = local_summaries(peers, 2);
+    // Precompute the ring's final token (the merged GS, built by the
+    // partners along the ring).
+    let final_token = {
+        let mut gs = SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
+        for s in &summaries {
+            let tree = wire::decode(s).expect("decodes");
+            merge_into(&mut gs, &tree, &EngineConfig::default()).expect("same CBK");
+        }
+        wire::encode(&gs)
+    };
+
+    let mut group = c.benchmark_group("reconciliation_sp_work");
+    group.bench_function("ring_sp_store_only", |b| {
+        b.iter(|| wire::decode(&final_token).expect("decodes").leaf_count())
+    });
+    group.bench_function("star_sp_merges_all", |b| {
+        b.iter(|| {
+            let mut gs = SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
+            for s in &summaries {
+                let tree = wire::decode(s).expect("decodes");
+                merge_into(&mut gs, &tree, &EngineConfig::default()).expect("same CBK");
+            }
+            gs.leaf_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rebuild, bench_ring_vs_star);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Wire-codec benchmarks and the §6.1.1 storage-model check: summary
+//! size per node (the paper estimates k ≈ 512 bytes) and total size
+//! `k·(B^{d+1}−1)/(B−1)` staying bounded as data grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fuzzy::bk::BackgroundKnowledge;
+use rand::SeedableRng;
+use relation::generator::{patient_table, MatchTarget, PatientDistributions};
+use relation::schema::Schema;
+use saintetiq::cell::SourceId;
+use saintetiq::engine::{EngineConfig, SaintEtiQEngine};
+use saintetiq::hierarchy::SummaryTree;
+use saintetiq::wire;
+
+fn summary_of(n: usize, seed: u64) -> SummaryTree {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let dist = PatientDistributions::default();
+    let table = patient_table(&mut rng, n, &dist, &MatchTarget::default(), 0);
+    let mut e = SaintEtiQEngine::new(
+        BackgroundKnowledge::medical_cbk(),
+        &Schema::patient(),
+        EngineConfig::default(),
+        SourceId(1),
+    )
+    .expect("CBK binds");
+    e.summarize_table(&table);
+    e.into_tree()
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for &n in &[100usize, 1_000, 5_000] {
+        let tree = summary_of(n, 1);
+        let bytes = wire::encode(&tree);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &tree, |b, tree| {
+            b.iter(|| wire::encode(tree).len())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
+            b.iter(|| wire::decode(bytes).expect("decodes").leaf_count())
+        });
+    }
+    group.finish();
+}
+
+/// Not a timing benchmark: prints the storage-model numbers the paper
+/// reasons about, so `cargo bench` output doubles as the size report.
+fn report_sizes(c: &mut Criterion) {
+    for &n in &[100usize, 1_000, 10_000] {
+        let tree = summary_of(n, 2);
+        eprintln!(
+            "storage: {n} tuples -> {} cells, {} nodes, depth {}, {} bytes total, {:.0} bytes/node",
+            tree.leaf_count(),
+            tree.live_node_count(),
+            tree.depth(),
+            wire::encoded_size(&tree),
+            wire::avg_node_bytes(&tree),
+        );
+    }
+    // Keep criterion happy with at least one measured function.
+    let tree = summary_of(500, 3);
+    c.bench_function("encoded_size_500", |b| b.iter(|| wire::encoded_size(&tree)));
+}
+
+criterion_group!(benches, bench_encode_decode, report_sizes);
+criterion_main!(benches);

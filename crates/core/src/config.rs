@@ -1,0 +1,171 @@
+//! Simulation parameters — the paper's Table 3 as a typed configuration.
+//!
+//! | parameter | paper value |
+//! |---|---|
+//! | local summary lifetime `L` | skewed, mean 3 h / median 1 h |
+//! | number of peers `n` | 16 – 5000 |
+//! | number of queries `q` | 200 |
+//! | matching nodes / query hits | 10 % |
+//! | freshness threshold `α` | 0.1 – 0.8 |
+//!
+//! plus §6.2.1's network and workload constants: a power-law topology of
+//! average degree 4, a query rate of 0.00083 queries/node/s (one query per
+//! node per 20 minutes, after Yang & Garcia-Molina \[5\]), TTL 3 for the
+//! flooding baseline, and `k = 3.5` long-range links between summary peers
+//! in the inter-domain cost term.
+
+use p2psim::churn::LifetimeDistribution;
+use p2psim::time::SimTime;
+
+use crate::error::P2pError;
+use crate::routing::RoutingPolicy;
+
+/// All tunables of a summary-management experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Domain / network size (Table 3: 16–5000).
+    pub n_peers: usize,
+    /// Freshness threshold α gating reconciliation (Table 3: 0.1–0.8).
+    pub alpha: f64,
+    /// Local-summary lifetime distribution (Table 3's skewed L).
+    pub lifetime: LifetimeDistribution,
+    /// Mean downtime between sessions, seconds.
+    pub mean_downtime_s: f64,
+    /// Fraction of departures that are silent failures (§4.3).
+    pub failure_fraction: f64,
+    /// Number of query samples (Table 3: 200).
+    pub query_count: usize,
+    /// Fraction of peers matching each query (Table 3: 10 %).
+    pub match_fraction: f64,
+    /// Number of distinct query templates in the workload.
+    pub template_count: usize,
+    /// Records per peer database.
+    pub records_per_peer: usize,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+    /// Routing policy (worst-case `All` for Figure 4; `FreshOnly` for
+    /// Figure 5).
+    pub policy: RoutingPolicy,
+    /// TTL of the pure-flooding baseline (§6.2.3: 3).
+    pub flood_ttl: u32,
+    /// Average long-range degree between summary peers (`k = 3.5`).
+    pub interdomain_k: f64,
+    /// TTL of the `sumpeer` construction broadcast (§4.1's example: 2).
+    pub sumpeer_ttl: u32,
+    /// Barabási–Albert attachment parameter (m = 2 → average degree 4).
+    pub topology_m: usize,
+    /// Master seed; every stochastic choice derives from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Table 3 defaults at a given domain size and α.
+    pub fn paper_defaults(n_peers: usize, alpha: f64) -> Self {
+        Self {
+            n_peers,
+            alpha,
+            lifetime: LifetimeDistribution::paper_default(),
+            mean_downtime_s: 1800.0,
+            failure_fraction: 0.3,
+            query_count: 200,
+            match_fraction: 0.10,
+            template_count: 3,
+            records_per_peer: 24,
+            horizon: SimTime::from_hours(12),
+            policy: RoutingPolicy::All,
+            flood_ttl: 3,
+            interdomain_k: 3.5,
+            sumpeer_ttl: 2,
+            topology_m: 2,
+            seed: 42,
+        }
+    }
+
+    /// The paper's query rate: 0.00083 queries per node per second
+    /// ("1 query per node per 20 mns").
+    pub const QUERY_RATE_PER_NODE_S: f64 = 0.00083;
+
+    /// The domain sizes the figures sweep.
+    pub const DOMAIN_SIZES: [usize; 7] = [16, 50, 100, 500, 1000, 2000, 5000];
+
+    /// The α values of Figure 4.
+    pub const ALPHAS: [f64; 4] = [0.1, 0.3, 0.5, 0.8];
+
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), P2pError> {
+        if self.n_peers == 0 {
+            return Err(P2pError::BadConfig("n_peers must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(P2pError::BadConfig(format!("alpha {} not in [0,1]", self.alpha)));
+        }
+        if !(0.0..=1.0).contains(&self.match_fraction) {
+            return Err(P2pError::BadConfig("match_fraction not in [0,1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.failure_fraction) {
+            return Err(P2pError::BadConfig("failure_fraction not in [0,1]".into()));
+        }
+        if self.template_count == 0 || self.template_count > 3 {
+            // The medical CBK reserves 3 diseases for templates and the
+            // rest as background noise (see `workload`).
+            return Err(P2pError::BadConfig("template_count must be 1..=3".into()));
+        }
+        if self.query_count == 0 {
+            return Err(P2pError::BadConfig("query_count must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Derived: expected number of peers matching one query.
+    pub fn expected_hits(&self) -> f64 {
+        self.match_fraction * self.n_peers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table3() {
+        let c = SimConfig::paper_defaults(500, 0.3);
+        assert_eq!(c.n_peers, 500);
+        assert_eq!(c.alpha, 0.3);
+        assert_eq!(c.query_count, 200);
+        assert_eq!(c.match_fraction, 0.10);
+        assert_eq!(c.flood_ttl, 3);
+        assert_eq!(c.interdomain_k, 3.5);
+        assert_eq!(c.sumpeer_ttl, 2);
+        assert_eq!(c.topology_m, 2, "average degree 4");
+        c.validate().unwrap();
+        match c.lifetime {
+            LifetimeDistribution::LogNormalMeanMedian { mean_s, median_s } => {
+                assert_eq!(mean_s, 3.0 * 3600.0);
+                assert_eq!(median_s, 3600.0);
+            }
+            other => panic!("wrong lifetime distribution {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.alpha = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.n_peers = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.template_count = 9;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.match_fraction = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn expected_hits() {
+        let c = SimConfig::paper_defaults(2000, 0.3);
+        assert!((c.expected_hits() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,297 @@
+//! Domain construction over the physical topology (§4.1) and summary-peer
+//! dynamicity (§4.3).
+//!
+//! Construction starts at each summary peer (SP), which broadcasts a
+//! `sumpeer` message with a TTL (the paper's example: 2). A peer
+//! receiving its first `sumpeer` joins that SP's domain by shipping its
+//! `localsum`; a peer hearing from a *closer* SP (latency along the
+//! broadcast path) drops its old partnership (`drop` message) and joins
+//! the closer one. Peers out of every broadcast's reach run a *selective
+//! walk* — always forwarding to the highest-degree neighbor \[23\] — which
+//! stops at the first partner or summary peer found.
+//!
+//! When an SP departs gracefully it `release`s its partners, who each
+//! walk to a new SP; when it fails, partners discover the failure on
+//! their next push/query attempt and then walk.
+
+use p2psim::network::{MessageClass, Network, NodeId};
+use p2psim::time::SimTime;
+
+/// The outcome of domain construction.
+#[derive(Debug, Clone)]
+pub struct Domains {
+    /// The elected summary peers.
+    pub superpeers: Vec<NodeId>,
+    /// `assignment[p]` = the SP of peer `p` (`None` for SPs themselves
+    /// and unreachable peers).
+    pub assignment: Vec<Option<NodeId>>,
+    /// Latency distance (µs along the broadcast path) from each peer to
+    /// its SP.
+    pub distance: Vec<u64>,
+}
+
+impl Domains {
+    /// Members of one SP's domain (partners only).
+    pub fn members(&self, sp: NodeId) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Some(sp))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Number of peers assigned to any domain.
+    pub fn assigned_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+}
+
+/// Elects `count` summary peers: the highest-degree live nodes, the
+/// standard ultrapeer criterion (superpeers must afford the extra load).
+pub fn elect_superpeers(net: &Network, count: usize) -> Vec<NodeId> {
+    let mut by_degree: Vec<NodeId> = (0..net.len() as u32)
+        .map(NodeId)
+        .filter(|&p| net.is_up(p))
+        .collect();
+    by_degree.sort_by_key(|&p| std::cmp::Reverse(net.graph().degree(p)));
+    by_degree.truncate(count);
+    by_degree
+}
+
+/// Runs the construction protocol. Counts every message on `net`'s
+/// counters (`Construction` class) and returns the domain map.
+pub fn construct_domains(net: &mut Network, superpeers: &[NodeId], ttl: u32) -> Domains {
+    let n = net.len();
+    let mut assignment: Vec<Option<NodeId>> = vec![None; n];
+    let mut distance: Vec<u64> = vec![u64::MAX; n];
+
+    // Each SP broadcasts `sumpeer` with the TTL; the flood cost is the
+    // standard duplicate-counting broadcast cost.
+    for &sp in superpeers {
+        let msgs = net.flood_message_count(sp, ttl);
+        net.count_messages(MessageClass::Construction, msgs);
+    }
+
+    // Peers adopt the closest SP (latency along the broadcast tree). We
+    // recompute reach with per-path latencies: BFS by hops, accumulating
+    // link latency.
+    for &sp in superpeers {
+        let mut dist: Vec<Option<u64>> = vec![None; n];
+        dist[sp.index()] = Some(0);
+        let mut frontier = vec![sp];
+        for _ in 0..ttl {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let du = dist[u.index()].expect("frontier has distance");
+                let nbrs: Vec<(NodeId, SimTime)> = net
+                    .graph()
+                    .neighbors(u)
+                    .iter()
+                    .map(|e| (e.node, e.latency))
+                    .collect();
+                for (v, lat) in nbrs {
+                    if !net.is_up(v) {
+                        continue;
+                    }
+                    let dv = du + lat.0;
+                    if dist[v.index()].map(|old| dv < old).unwrap_or(true) {
+                        dist[v.index()] = Some(dv);
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for i in 0..n {
+            let p = NodeId(i as u32);
+            if p == sp || superpeers.contains(&p) {
+                continue;
+            }
+            if let Some(d) = dist[i] {
+                if d < distance[i] {
+                    if assignment[i].is_some() {
+                        // §4.1: drop the farther partnership first.
+                        net.count_message(MessageClass::Construction); // drop
+                    }
+                    assignment[i] = Some(sp);
+                    distance[i] = d;
+                    net.count_message(MessageClass::Construction); // localsum
+                }
+            }
+        }
+    }
+
+    // Unreached peers run a selective walk that stops at the first
+    // partner or summary peer (§4.1: "once a partner or a summary peer
+    // is reached, the find message is stopped").
+    for i in 0..n {
+        let p = NodeId(i as u32);
+        if assignment[i].is_some() || superpeers.contains(&p) || !net.is_up(p) {
+            continue;
+        }
+        let max_hops = (n as u32).min(64);
+        let (path, found) = net.selective_walk(p, max_hops, |v| {
+            superpeers.contains(&v) || assignment[v.index()].is_some()
+        });
+        net.count_messages(MessageClass::Construction, path.len() as u64); // find hops
+        if found {
+            let reached = *path.last().expect("found implies non-empty path");
+            let sp = if superpeers.contains(&reached) {
+                reached
+            } else {
+                assignment[reached.index()].expect("partner has an SP")
+            };
+            assignment[i] = Some(sp);
+            distance[i] = u64::MAX - 1; // out-of-broadcast partner: distance unknown
+            net.count_message(MessageClass::Construction); // localsum
+        }
+    }
+
+    Domains { superpeers: superpeers.to_vec(), assignment, distance }
+}
+
+/// Handles a summary peer departure (§4.3). Graceful: the SP sends
+/// `release` to every partner; failed: each partner pays one extra
+/// (timed-out) message discovering the failure. Every orphaned partner
+/// then walks to a new SP. Returns the number of re-homed partners.
+pub fn handle_sp_departure(
+    net: &mut Network,
+    domains: &mut Domains,
+    sp: NodeId,
+    graceful: bool,
+) -> usize {
+    let members = domains.members(sp);
+    net.take_down(sp);
+    if graceful {
+        net.count_messages(MessageClass::Control, members.len() as u64); // release
+    } else {
+        // Failure detection: a wasted push/query attempt per partner.
+        net.count_messages(MessageClass::Push, members.len() as u64);
+    }
+    let remaining: Vec<NodeId> =
+        domains.superpeers.iter().copied().filter(|&s| s != sp).collect();
+    domains.superpeers = remaining.clone();
+    let mut rehomed = 0;
+    for p in members {
+        domains.assignment[p.index()] = None;
+        if !net.is_up(p) {
+            continue;
+        }
+        let max_hops = (net.len() as u32).min(64);
+        let (path, found) = net.selective_walk(p, max_hops, |v| {
+            remaining.contains(&v)
+                || domains.assignment[v.index()].map(|s| s != sp).unwrap_or(false)
+        });
+        net.count_messages(MessageClass::Construction, path.len() as u64);
+        if found {
+            let reached = *path.last().expect("non-empty");
+            let new_sp = if remaining.contains(&reached) {
+                reached
+            } else {
+                domains.assignment[reached.index()].expect("partner has an SP")
+            };
+            domains.assignment[p.index()] = Some(new_sp);
+            net.count_message(MessageClass::Construction); // localsum
+            rehomed += 1;
+        }
+    }
+    rehomed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2psim::topology::{Graph, TopologyConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(n: usize, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = TopologyConfig { nodes: n, ..Default::default() };
+        Network::new(Graph::barabasi_albert(&cfg, &mut rng))
+    }
+
+    #[test]
+    fn superpeer_election_prefers_hubs() {
+        let n = net(300, 1);
+        let sps = elect_superpeers(&n, 5);
+        assert_eq!(sps.len(), 5);
+        let min_sp_degree =
+            sps.iter().map(|&s| n.graph().degree(s)).min().unwrap();
+        let avg: f64 = n.graph().average_degree();
+        assert!(min_sp_degree as f64 >= avg, "SPs must be hubs");
+    }
+
+    #[test]
+    fn construction_assigns_most_peers() {
+        let mut n = net(400, 2);
+        let sps = elect_superpeers(&n, 8);
+        let domains = construct_domains(&mut n, &sps, 2);
+        // Power-law hubs with TTL 2 + selective-walk fallback reach
+        // essentially everyone.
+        let assignable = n.len() - sps.len();
+        assert!(
+            domains.assigned_count() as f64 >= 0.95 * assignable as f64,
+            "assigned {}/{assignable}",
+            domains.assigned_count()
+        );
+        assert!(n.sent(MessageClass::Construction) > 0);
+        // No SP is assigned to another SP.
+        for &sp in &sps {
+            assert!(domains.assignment[sp.index()].is_none());
+        }
+    }
+
+    #[test]
+    fn closer_sp_wins() {
+        // Line: sp0 - a - b - sp1; with TTL 2 both SPs reach a and b.
+        let mut g = Graph::empty(4);
+        g.add_edge(NodeId(0), NodeId(1), SimTime::from_millis(1));
+        g.add_edge(NodeId(1), NodeId(2), SimTime::from_millis(1));
+        g.add_edge(NodeId(2), NodeId(3), SimTime::from_millis(1));
+        let mut n = Network::new(g);
+        let domains = construct_domains(&mut n, &[NodeId(0), NodeId(3)], 2);
+        assert_eq!(domains.assignment[1], Some(NodeId(0)), "a is closer to sp0");
+        assert_eq!(domains.assignment[2], Some(NodeId(3)), "b is closer to sp1");
+    }
+
+    #[test]
+    fn members_listing() {
+        let mut n = net(100, 3);
+        let sps = elect_superpeers(&n, 3);
+        let domains = construct_domains(&mut n, &sps, 2);
+        let total: usize = sps.iter().map(|&s| domains.members(s).len()).sum();
+        assert_eq!(total, domains.assigned_count());
+    }
+
+    #[test]
+    fn graceful_sp_departure_rehomes_partners() {
+        let mut n = net(200, 4);
+        let sps = elect_superpeers(&n, 4);
+        let mut domains = construct_domains(&mut n, &sps, 2);
+        let sp = sps[0];
+        let orphans = domains.members(sp).len();
+        n.reset_counters();
+        let rehomed = handle_sp_departure(&mut n, &mut domains, sp, true);
+        assert!(orphans > 0);
+        assert!(rehomed as f64 >= 0.9 * orphans as f64, "{rehomed}/{orphans}");
+        assert_eq!(n.sent(MessageClass::Control), orphans as u64, "release msgs");
+        assert!(!domains.superpeers.contains(&sp));
+        // Nobody points at the departed SP anymore.
+        assert!(domains.assignment.iter().all(|a| *a != Some(sp)));
+    }
+
+    #[test]
+    fn failed_sp_costs_detection_messages() {
+        let mut n = net(200, 5);
+        let sps = elect_superpeers(&n, 4);
+        let mut domains = construct_domains(&mut n, &sps, 2);
+        let sp = sps[1];
+        let orphans = domains.members(sp).len();
+        n.reset_counters();
+        handle_sp_departure(&mut n, &mut domains, sp, false);
+        assert_eq!(n.sent(MessageClass::Push), orphans as u64, "timed-out probes");
+        assert_eq!(n.sent(MessageClass::Control), 0, "no release on failure");
+    }
+}

@@ -1,0 +1,220 @@
+//! The cooperation list (§4.1): per-partner freshness bookkeeping
+//! attached to a global summary.
+
+use std::collections::BTreeMap;
+
+use p2psim::network::NodeId;
+
+use crate::freshness::Freshness;
+
+/// The cooperation list `CL` of one global summary: an element per
+/// partner peer holding its freshness value.
+#[derive(Debug, Clone, Default)]
+pub struct CooperationList {
+    entries: BTreeMap<NodeId, Freshness>,
+}
+
+impl CooperationList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a partner with the given initial freshness (`Fresh` for
+    /// construction-time partners, `NeedsRefresh` for §4.3's late
+    /// joiners whose data awaits the next pull).
+    pub fn add_partner(&mut self, peer: NodeId, freshness: Freshness) {
+        self.entries.insert(peer, freshness);
+    }
+
+    /// Removes a partner (on `drop` messages or reconciliation cleanup).
+    pub fn remove_partner(&mut self, peer: NodeId) -> bool {
+        self.entries.remove(&peer).is_some()
+    }
+
+    /// True when the peer is a partner.
+    pub fn contains(&self, peer: NodeId) -> bool {
+        self.entries.contains_key(&peer)
+    }
+
+    /// The freshness of one partner.
+    pub fn freshness(&self, peer: NodeId) -> Option<Freshness> {
+        self.entries.get(&peer).copied()
+    }
+
+    /// Updates a partner's freshness (push messages); returns false when
+    /// the peer is unknown.
+    pub fn set_freshness(&mut self, peer: NodeId, freshness: Freshness) -> bool {
+        match self.entries.get_mut(&peer) {
+            Some(slot) => {
+                *slot = freshness;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of partners.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no partner is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All partners in id order.
+    pub fn partners(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// `P_fresh`: partners whose descriptions are fresh (§6.1.2).
+    pub fn fresh_partners(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().filter(|(_, f)| !f.as_stale_bit()).map(|(&p, _)| p)
+    }
+
+    /// `P_old`: partners whose descriptions are considered old (§6.1.2).
+    pub fn old_partners(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().filter(|(_, f)| f.as_stale_bit()).map(|(&p, _)| p)
+    }
+
+    /// The reconciliation trigger metric: `Σ v / |CL|` under the 1-bit
+    /// view (§6.1.1's `Σ_{v∈CL} v / |CL| ≥ α`).
+    pub fn stale_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let stale = self.entries.values().filter(|f| f.as_stale_bit()).count();
+        stale as f64 / self.entries.len() as f64
+    }
+
+    /// True when reconciliation must fire.
+    pub fn needs_reconciliation(&self, alpha: f64) -> bool {
+        !self.is_empty() && self.stale_fraction() >= alpha
+    }
+
+    /// Post-reconciliation reset (§4.2.2: "all the freshness values in CL
+    /// are reset to zero"); `retain` keeps only the peers that took part
+    /// (departed partners are dropped, since the rebuilt GS omits them).
+    pub fn reconcile<F: Fn(NodeId) -> bool>(&mut self, retain: F) {
+        self.entries.retain(|&p, _| retain(p));
+        for f in self.entries.values_mut() {
+            *f = Freshness::Fresh;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn add_set_remove() {
+        let mut cl = CooperationList::new();
+        cl.add_partner(peer(1), Freshness::Fresh);
+        cl.add_partner(peer(2), Freshness::NeedsRefresh);
+        assert_eq!(cl.len(), 2);
+        assert!(cl.contains(peer(1)));
+        assert_eq!(cl.freshness(peer(2)), Some(Freshness::NeedsRefresh));
+        assert!(cl.set_freshness(peer(1), Freshness::Unavailable));
+        assert!(!cl.set_freshness(peer(9), Freshness::Fresh));
+        assert!(cl.remove_partner(peer(1)));
+        assert!(!cl.remove_partner(peer(1)));
+        assert_eq!(cl.len(), 1);
+    }
+
+    #[test]
+    fn fresh_and_old_partitions() {
+        let mut cl = CooperationList::new();
+        cl.add_partner(peer(1), Freshness::Fresh);
+        cl.add_partner(peer(2), Freshness::NeedsRefresh);
+        cl.add_partner(peer(3), Freshness::Unavailable);
+        cl.add_partner(peer(4), Freshness::Fresh);
+        let fresh: Vec<NodeId> = cl.fresh_partners().collect();
+        let old: Vec<NodeId> = cl.old_partners().collect();
+        assert_eq!(fresh, vec![peer(1), peer(4)]);
+        assert_eq!(old, vec![peer(2), peer(3)]);
+    }
+
+    #[test]
+    fn stale_fraction_and_trigger() {
+        let mut cl = CooperationList::new();
+        assert_eq!(cl.stale_fraction(), 0.0);
+        assert!(!cl.needs_reconciliation(0.0), "empty list never triggers");
+        for i in 0..10 {
+            cl.add_partner(peer(i), Freshness::Fresh);
+        }
+        assert_eq!(cl.stale_fraction(), 0.0);
+        for i in 0..3 {
+            cl.set_freshness(peer(i), Freshness::NeedsRefresh);
+        }
+        assert!((cl.stale_fraction() - 0.3).abs() < 1e-12);
+        assert!(cl.needs_reconciliation(0.3));
+        assert!(!cl.needs_reconciliation(0.31));
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The stale fraction always equals |old| / |all|, and the
+            /// fresh/old partitions are complementary.
+            #[test]
+            fn partitions_are_exact(states in prop::collection::vec(0u8..3, 1..120)) {
+                let mut cl = CooperationList::new();
+                for (i, &s) in states.iter().enumerate() {
+                    cl.add_partner(NodeId(i as u32), Freshness::from_u2(s).unwrap());
+                }
+                let fresh = cl.fresh_partners().count();
+                let old = cl.old_partners().count();
+                prop_assert_eq!(fresh + old, cl.len());
+                let expect = old as f64 / cl.len() as f64;
+                prop_assert!((cl.stale_fraction() - expect).abs() < 1e-12);
+                // Trigger is exactly the threshold comparison.
+                prop_assert_eq!(cl.needs_reconciliation(expect), !cl.is_empty());
+                if old < cl.len() {
+                    prop_assert!(!cl.needs_reconciliation(expect + 0.01));
+                }
+            }
+
+            /// After reconcile, no stale entries remain and only retained
+            /// peers survive.
+            #[test]
+            fn reconcile_postconditions(
+                states in prop::collection::vec(0u8..3, 1..120),
+                keep_mod in 2u32..5,
+            ) {
+                let mut cl = CooperationList::new();
+                for (i, &s) in states.iter().enumerate() {
+                    cl.add_partner(NodeId(i as u32), Freshness::from_u2(s).unwrap());
+                }
+                cl.reconcile(|p| p.0 % keep_mod == 0);
+                prop_assert_eq!(cl.stale_fraction(), 0.0);
+                for p in cl.partners() {
+                    prop_assert_eq!(p.0 % keep_mod, 0);
+                    prop_assert_eq!(cl.freshness(p), Some(Freshness::Fresh));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconcile_resets_and_retains() {
+        let mut cl = CooperationList::new();
+        cl.add_partner(peer(1), Freshness::NeedsRefresh);
+        cl.add_partner(peer(2), Freshness::Unavailable);
+        cl.add_partner(peer(3), Freshness::NeedsRefresh);
+        // Peer 2 departed: drop it, refresh the rest.
+        cl.reconcile(|p| p != peer(2));
+        assert_eq!(cl.len(), 2);
+        assert!(!cl.contains(peer(2)));
+        assert_eq!(cl.stale_fraction(), 0.0);
+        assert_eq!(cl.freshness(peer(1)), Some(Freshness::Fresh));
+    }
+}

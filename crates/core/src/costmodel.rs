@@ -1,0 +1,138 @@
+//! The analytic cost model of §6.1.
+//!
+//! * **Update cost** (eq. 1): `C_up = 1/L + F_rec` messages per node per
+//!   second — pushes driven by the summary lifetime `L` plus the
+//!   amortized reconciliation traffic.
+//! * **Query cost in a domain**: `C_d = 1 + |P_Q| + (1 − FP)·|P_Q|`.
+//! * **Inter-domain flooding**: `C_f = ((1 − FP)·|P_Q| + 2) · Σ_{i=1}^{TTL} k^i`.
+//! * **Total query cost** (eq. 2):
+//!   `C_Q = C_d · C_t/((1−FP)|P_Q|) + C_f · (1 − C_t/((1−FP)|P_Q|))`,
+//!   where the first factor is the number of domains to visit.
+//! * **Baselines** (§6.2.3): centralized index `1 + 2·(hit·n)`; pure
+//!   flooding is measured on the simulated topology.
+
+/// Eq. (1): update cost in messages per node per second.
+///
+/// `mean_lifetime_s` is the mean local-summary lifetime `L`;
+/// `reconciliations_per_node_s` is the measured/estimated reconciliation
+/// message rate per node (`F_rec`).
+pub fn update_cost(mean_lifetime_s: f64, reconciliations_per_node_s: f64) -> f64 {
+    assert!(mean_lifetime_s > 0.0);
+    1.0 / mean_lifetime_s + reconciliations_per_node_s
+}
+
+/// Domain query cost `C_d` in messages.
+pub fn domain_query_cost(pq: f64, fp: f64) -> f64 {
+    1.0 + pq + (1.0 - fp) * pq
+}
+
+/// Geometric reach `Σ_{i=1}^{ttl} k^i` of an inter-domain flood over
+/// summary-peer long links of average degree `k`.
+pub fn flood_reach(k: f64, ttl: u32) -> f64 {
+    (1..=ttl).map(|i| k.powi(i as i32)).sum()
+}
+
+/// Inter-domain flooding cost `C_f` in messages: the answering peers
+/// `(1−FP)·|P_Q|` plus the originator and the summary peer (the `+2`)
+/// each flood with the given reach.
+pub fn interdomain_flood_cost(pq: f64, fp: f64, k: f64, ttl: u32) -> f64 {
+    ((1.0 - fp) * pq + 2.0) * flood_reach(k, ttl)
+}
+
+/// Eq. (2): total query cost for a target of `ct` results.
+///
+/// `pq` is the per-domain localization size and `fp` the false-positive
+/// fraction; `cd`/`cf` the per-domain and flooding costs. When one domain
+/// already provides `ct` results the flooding term vanishes.
+pub fn total_query_cost(ct: f64, pq: f64, fp: f64, cd: f64, cf: f64) -> f64 {
+    let per_domain = (1.0 - fp) * pq;
+    assert!(per_domain > 0.0, "a domain must provide some results");
+    let domains = ct / per_domain;
+    cd * domains + cf * (1.0 - ct / ((1.0 - fp) * pq)).max(0.0)
+}
+
+/// §6.2.3's exact SQ cost for the Figure 7 setup: each visited domain
+/// provides 10 % of the relevant peers (1 % of the network), so 10
+/// domains serve a query and 9 inter-domain floods connect them:
+/// `C_Q = 10·C_d + 9·C_f`.
+pub fn figure7_sq_cost(n: usize, fp: f64, k: f64) -> f64 {
+    let pq_per_domain = 0.01 * n as f64;
+    let cd = domain_query_cost(pq_per_domain, fp);
+    let cf = interdomain_flood_cost(pq_per_domain, fp, k, 1);
+    10.0 * cd + 9.0 * cf
+}
+
+/// §6.2.3's centralized-index cost: one query message to the index plus a
+/// query and a response for each of the `hit_fraction·n` relevant peers:
+/// `C_Q = 1 + 2·(0.1·n)` with the paper's 10 % hit rate.
+pub fn centralized_cost(n: usize, hit_fraction: f64) -> f64 {
+    1.0 + 2.0 * (hit_fraction * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_cost_decomposes() {
+        // L = 3 h mean: 1/L ≈ 9.26e-5 pushes/node/s.
+        let c = update_cost(3.0 * 3600.0, 2e-5);
+        assert!((c - (1.0 / 10800.0 + 2e-5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn update_cost_rejects_zero_lifetime() {
+        update_cost(0.0, 1.0);
+    }
+
+    #[test]
+    fn domain_cost_formula() {
+        // |P_Q| = 50, FP = 0 → 1 + 50 + 50.
+        assert_eq!(domain_query_cost(50.0, 0.0), 101.0);
+        // FP = 0.2 → 1 + 50 + 40.
+        assert_eq!(domain_query_cost(50.0, 0.2), 91.0);
+    }
+
+    #[test]
+    fn flood_reach_geometric() {
+        assert!((flood_reach(3.5, 1) - 3.5).abs() < 1e-12);
+        assert!((flood_reach(3.5, 2) - (3.5 + 12.25)).abs() < 1e-12);
+        assert!((flood_reach(2.0, 3) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interdomain_cost_formula() {
+        // ((1-0)·10 + 2) · 3.5 = 42.
+        assert!((interdomain_flood_cost(10.0, 0.0, 3.5, 1) - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_cost_single_domain_case() {
+        // Ct = (1-FP)|P_Q|: one domain suffices, no flooding.
+        let cd = domain_query_cost(10.0, 0.0);
+        let cf = interdomain_flood_cost(10.0, 0.0, 3.5, 1);
+        let c = total_query_cost(10.0, 10.0, 0.0, cd, cf);
+        assert!((c - cd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure7_shape() {
+        // The SQ curve must sit far below flooding-scale costs and above
+        // the centralized lower bound, and grow with n.
+        let fp = 0.11; // Figure 4's measured worst case at α = 0.3
+        let sq_2000 = figure7_sq_cost(2000, fp, 3.5);
+        let sq_500 = figure7_sq_cost(500, fp, 3.5);
+        assert!(sq_2000 > sq_500);
+        let central_2000 = centralized_cost(2000, 0.1);
+        assert!(central_2000 < sq_2000, "centralized is the lower bound");
+        // Paper: SQ ≈ flooding/3.5 at n = 2000 (flooding ≈ 3500+ msgs).
+        assert!(sq_2000 < 3500.0 / 2.0, "sq at 2000 = {sq_2000}");
+    }
+
+    #[test]
+    fn centralized_formula() {
+        assert_eq!(centralized_cost(2000, 0.1), 401.0);
+        assert_eq!(centralized_cost(16, 0.1), 1.0 + 2.0 * 1.6);
+    }
+}

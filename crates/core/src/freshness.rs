@@ -1,0 +1,86 @@
+//! Freshness values (§4.1, §4.3).
+//!
+//! Each cooperation-list element carries a 2-bit freshness value:
+//!
+//! * `0` — the descriptions are fresh relative to the original data;
+//! * `1` — the descriptions need to be refreshed;
+//! * `2` — the original data are not available (used while addressing
+//!   peer volatility).
+//!
+//! §4.3 then adopts the *second alternative*: departed peers' data is
+//! considered expired, collapsing the scheme to a 1-bit value where `1`
+//! covers both expiration and unavailability. Both views are provided;
+//! the simulation uses the collapsed one, like the paper.
+
+/// A cooperation-list freshness value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Freshness {
+    /// Value 0: descriptions are fresh.
+    #[default]
+    Fresh,
+    /// Value 1: descriptions need to be refreshed.
+    NeedsRefresh,
+    /// Value 2: the original data is unavailable (peer departed).
+    Unavailable,
+}
+
+impl Freshness {
+    /// The 2-bit encoding of §4.1.
+    pub fn as_u2(self) -> u8 {
+        match self {
+            Freshness::Fresh => 0,
+            Freshness::NeedsRefresh => 1,
+            Freshness::Unavailable => 2,
+        }
+    }
+
+    /// Decodes the 2-bit value.
+    pub fn from_u2(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Freshness::Fresh),
+            1 => Some(Freshness::NeedsRefresh),
+            2 => Some(Freshness::Unavailable),
+            _ => None,
+        }
+    }
+
+    /// The collapsed 1-bit view of §4.3 ("a value 0 to indicate the
+    /// freshness of data descriptions, and a value 1 to indicate either
+    /// their expiration or their unavailability").
+    pub fn as_stale_bit(self) -> bool {
+        !matches!(self, Freshness::Fresh)
+    }
+
+    /// True when the underlying data is gone (not merely drifted).
+    pub fn is_unavailable(self) -> bool {
+        matches!(self, Freshness::Unavailable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_roundtrip() {
+        for f in [Freshness::Fresh, Freshness::NeedsRefresh, Freshness::Unavailable] {
+            assert_eq!(Freshness::from_u2(f.as_u2()), Some(f));
+        }
+        assert_eq!(Freshness::from_u2(3), None);
+    }
+
+    #[test]
+    fn collapsed_bit_matches_section_43() {
+        assert!(!Freshness::Fresh.as_stale_bit());
+        assert!(Freshness::NeedsRefresh.as_stale_bit());
+        assert!(Freshness::Unavailable.as_stale_bit());
+        assert!(Freshness::Unavailable.is_unavailable());
+        assert!(!Freshness::NeedsRefresh.is_unavailable());
+    }
+
+    #[test]
+    fn default_is_fresh() {
+        // §4.1: "value 0 (initial value)".
+        assert_eq!(Freshness::default(), Freshness::Fresh);
+    }
+}

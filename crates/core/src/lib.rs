@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! `summary_p2p` — the primary contribution of *Summary Management in P2P
+//! Systems* (Hayek, Raschia, Valduriez, Mouaddib; EDBT 2008).
+//!
+//! Peers in a superpeer network summarize their relational databases with
+//! SaintEtiQ (crate `saintetiq`) and share the summaries as **semantic
+//! indexes**: a *domain* is one superpeer (the **summary peer**, SP) plus
+//! its client partners; the SP materializes a **global summary** (GS) — the
+//! merge of its partners' local summaries — annotated with a **cooperation
+//! list** (CL) of per-partner freshness flags. Queries are routed by
+//! matching them against the GS (peer localization) or answered
+//! approximately straight from it.
+//!
+//! Modules, following the paper's structure:
+//!
+//! * [`config`] — Table 3's simulation parameters as a typed config;
+//! * [`freshness`] / [`coop`] — the 2-bit freshness values and the
+//!   cooperation list (§4.1, §4.3);
+//! * [`messages`] — the protocol vocabulary (`sumpeer`, `localsum`,
+//!   `drop`, `find`, `push`, `reconciliation`, `release`, queries);
+//! * [`construction`] — domain construction over the physical topology
+//!   (§4.1): TTL-limited `sumpeer` broadcast, closest-SP partnership,
+//!   selective-walk `find`;
+//! * [`domain`] — the event-driven single-domain simulation of summary
+//!   maintenance (§4.2–4.3): push on drift, pull reconciliation rings
+//!   gated by the threshold α, churn with graceful leaves and silent
+//!   failures;
+//! * [`routing`] — query processing (§5): reformulation, GS evaluation,
+//!   the recall/precision policies over `P_fresh`/`P_old`, and stale
+//!   answer accounting;
+//! * [`workload`] — the Table 3 workload: query templates matched by a
+//!   configurable fraction of peers, with exact ground truth;
+//! * [`costmodel`] — the closed-form cost model of §6.1 (equations (1)
+//!   and (2));
+//! * [`baselines`] — §6.2.3's comparators: pure TTL-3 flooding and a
+//!   centralized index;
+//! * [`metrics`] — accuracy/traffic accounting shared by experiments;
+//! * [`scenario`] — the experiment drivers regenerating Figures 4–7.
+
+pub mod baselines;
+pub mod cache;
+pub mod config;
+pub mod construction;
+pub mod coop;
+pub mod costmodel;
+pub mod domain;
+pub mod error;
+pub mod freshness;
+pub mod messages;
+pub mod metrics;
+pub mod routing;
+pub mod scenario;
+pub mod system;
+pub mod workload;
+
+pub use config::SimConfig;
+pub use coop::CooperationList;
+pub use domain::DomainSim;
+pub use error::P2pError;
+pub use freshness::Freshness;
+pub use routing::RoutingPolicy;

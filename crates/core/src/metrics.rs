@@ -1,0 +1,262 @@
+//! Aggregated experiment reports.
+
+use std::collections::BTreeMap;
+
+use p2psim::network::MessageClass;
+
+use crate::config::SimConfig;
+use crate::routing::QueryOutcome;
+
+/// The aggregate of one domain run — everything Figures 4–6 plot.
+#[derive(Debug, Clone)]
+pub struct DomainReport {
+    /// Domain size.
+    pub n_peers: usize,
+    /// Freshness threshold.
+    pub alpha: f64,
+    /// Horizon in seconds.
+    pub horizon_s: f64,
+    /// Number of queries sampled.
+    pub queries: usize,
+    /// Mean |P_Q| over queries.
+    pub mean_pq: f64,
+    /// Mean ground-truth |QS| over queries.
+    pub mean_qs: f64,
+    /// Mean worst-case stale-flagged peers in P_Q (Figure 4's FP side).
+    pub mean_stale_selected: f64,
+    /// Mean worst-case stale-flagged peers outside P_Q (FN side).
+    pub mean_stale_unselected: f64,
+    /// Mean real false positives per query.
+    pub mean_real_fp: f64,
+    /// Mean real false negatives per query.
+    pub mean_real_fn: f64,
+    /// Mean answered (true positives) per query.
+    pub mean_answered: f64,
+    /// Push messages over the horizon.
+    pub push_messages: u64,
+    /// Reconciliation messages over the horizon.
+    pub reconciliation_messages: u64,
+    /// Construction messages (initial localsums + rejoins).
+    pub construction_messages: u64,
+    /// Query + response messages.
+    pub query_messages: u64,
+    /// Number of reconciliation rounds.
+    pub reconciliations: u64,
+    /// Wire bytes of push traffic.
+    pub push_bytes: u64,
+    /// Wire bytes of reconciliation tokens (per-hop upper bound).
+    pub reconciliation_bytes: u64,
+    /// Wire bytes of construction traffic (localsum payloads).
+    pub construction_bytes: u64,
+    /// Encoded size of the GS after the last rebuild, bytes.
+    pub gs_bytes: usize,
+    /// Distinct cells in the final GS.
+    pub gs_cells: usize,
+    /// Live nodes in the final GS hierarchy.
+    pub gs_nodes: usize,
+    /// Final approximate-answer weight per template from the live GS
+    /// (§4.3's alternative 2, the paper's choice).
+    pub approx_weight_live: Vec<f64>,
+    /// The same weights when departed peers' last descriptions are kept
+    /// (§4.3's alternative 1).
+    pub approx_weight_with_departed: Vec<f64>,
+}
+
+impl DomainReport {
+    /// Builds the report from raw run artifacts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_run(
+        cfg: &SimConfig,
+        outcomes: &[QueryOutcome],
+        counters: &BTreeMap<MessageClass, u64>,
+        byte_counters: &BTreeMap<MessageClass, u64>,
+        reconciliations: u64,
+        gs_bytes: usize,
+        gs_cells: usize,
+        gs_nodes: usize,
+    ) -> Self {
+        let q = outcomes.len().max(1) as f64;
+        let mean = |f: &dyn Fn(&QueryOutcome) -> f64| -> f64 {
+            outcomes.iter().map(f).sum::<f64>() / q
+        };
+        Self {
+            n_peers: cfg.n_peers,
+            alpha: cfg.alpha,
+            horizon_s: cfg.horizon.as_secs_f64(),
+            queries: outcomes.len(),
+            mean_pq: mean(&|o| o.pq.len() as f64),
+            mean_qs: mean(&|o| o.qs_size as f64),
+            mean_stale_selected: mean(&|o| o.stale_selected as f64),
+            mean_stale_unselected: mean(&|o| o.stale_unselected as f64),
+            mean_real_fp: mean(&|o| o.real_fp as f64),
+            mean_real_fn: mean(&|o| o.real_fn as f64),
+            mean_answered: mean(&|o| o.answered as f64),
+            push_messages: counters.get(&MessageClass::Push).copied().unwrap_or(0),
+            reconciliation_messages: counters
+                .get(&MessageClass::Reconciliation)
+                .copied()
+                .unwrap_or(0),
+            construction_messages: counters
+                .get(&MessageClass::Construction)
+                .copied()
+                .unwrap_or(0),
+            query_messages: counters.get(&MessageClass::Query).copied().unwrap_or(0)
+                + counters.get(&MessageClass::QueryResponse).copied().unwrap_or(0),
+            reconciliations,
+            push_bytes: byte_counters.get(&MessageClass::Push).copied().unwrap_or(0),
+            reconciliation_bytes: byte_counters
+                .get(&MessageClass::Reconciliation)
+                .copied()
+                .unwrap_or(0),
+            construction_bytes: byte_counters
+                .get(&MessageClass::Construction)
+                .copied()
+                .unwrap_or(0),
+            gs_bytes,
+            gs_cells,
+            gs_nodes,
+            approx_weight_live: Vec::new(),
+            approx_weight_with_departed: Vec::new(),
+        }
+    }
+
+    /// Total update traffic in wire bytes (push + reconciliation).
+    pub fn update_bytes(&self) -> u64 {
+        self.push_bytes + self.reconciliation_bytes
+    }
+
+    /// Figure 4's y-axis: the worst-case fraction of stale answers — all
+    /// stale-flagged partners (FP if selected, FN otherwise) over the
+    /// domain size.
+    pub fn worst_stale_fraction(&self) -> f64 {
+        (self.mean_stale_selected + self.mean_stale_unselected) / self.n_peers as f64
+    }
+
+    /// Figure 5's y-axis: the real false-negative fraction over the
+    /// domain size.
+    pub fn real_fn_fraction(&self) -> f64 {
+        self.mean_real_fn / self.n_peers as f64
+    }
+
+    /// Mean real-FN per query normalized by ground truth (a recall-style
+    /// miss rate).
+    pub fn mean_real_fn_fraction(&self) -> f64 {
+        if self.mean_qs == 0.0 {
+            0.0
+        } else {
+            self.mean_real_fn / self.mean_qs
+        }
+    }
+
+    /// Recall: answered / ground truth.
+    pub fn mean_recall(&self) -> f64 {
+        if self.mean_qs == 0.0 {
+            1.0
+        } else {
+            self.mean_answered / self.mean_qs
+        }
+    }
+
+    /// Precision: answered / visited.
+    pub fn mean_precision(&self) -> f64 {
+        let visited = self.mean_answered + self.mean_real_fp;
+        if visited == 0.0 {
+            1.0
+        } else {
+            self.mean_answered / visited
+        }
+    }
+
+    /// Figure 6's y-axis: update messages (push + reconciliation), with
+    /// every token *hop* counted — the physical-traffic view.
+    pub fn update_messages(&self) -> u64 {
+        self.push_messages + self.reconciliation_messages
+    }
+
+    /// The paper's §6.1.1 accounting: "during reconciliation, only one
+    /// message is propagated among all partner peers" — each round counts
+    /// once. The two views bracket Figure 6's reading; EXPERIMENTS.md
+    /// discusses the gap.
+    pub fn update_messages_token_counted(&self) -> u64 {
+        self.push_messages + self.reconciliations
+    }
+
+    /// Update messages per node per second — eq. (1)'s measured
+    /// counterpart.
+    pub fn update_messages_per_node_s(&self) -> f64 {
+        self.update_messages() as f64 / (self.n_peers as f64 * self.horizon_s)
+    }
+
+    /// All messages of the run.
+    pub fn total_messages(&self) -> u64 {
+        self.push_messages
+            + self.reconciliation_messages
+            + self.construction_messages
+            + self.query_messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2psim::network::NodeId;
+
+    fn outcome(pq: usize, stale_sel: usize, stale_unsel: usize, fns: usize) -> QueryOutcome {
+        QueryOutcome {
+            pq: (0..pq as u32).map(NodeId).collect(),
+            visited: (0..pq as u32).map(NodeId).collect(),
+            answered: pq.saturating_sub(1),
+            qs_size: pq,
+            stale_selected: stale_sel,
+            stale_unselected: stale_unsel,
+            real_fp: 1,
+            real_fn: fns,
+            messages: 1 + 2 * pq as u64,
+        }
+    }
+
+    fn report(outcomes: &[QueryOutcome]) -> DomainReport {
+        let cfg = SimConfig::paper_defaults(100, 0.3);
+        let mut counters = BTreeMap::new();
+        counters.insert(MessageClass::Push, 50u64);
+        counters.insert(MessageClass::Reconciliation, 30u64);
+        counters.insert(MessageClass::Query, 200u64);
+        let mut bytes = BTreeMap::new();
+        bytes.insert(MessageClass::Push, 50u64 * 41);
+        bytes.insert(MessageClass::Reconciliation, 30u64 * 2048);
+        DomainReport::from_run(&cfg, outcomes, &counters, &bytes, 3, 4096, 40, 70)
+    }
+
+    #[test]
+    fn fractions_and_messages() {
+        let outs = vec![outcome(10, 2, 8, 1), outcome(10, 4, 6, 3)];
+        let r = report(&outs);
+        assert_eq!(r.queries, 2);
+        assert!((r.mean_pq - 10.0).abs() < 1e-12);
+        // (3 + 7) / 100.
+        assert!((r.worst_stale_fraction() - 0.10).abs() < 1e-12);
+        assert!((r.real_fn_fraction() - 0.02).abs() < 1e-12);
+        assert_eq!(r.update_messages(), 80);
+        let per_node_s = r.update_messages_per_node_s();
+        assert!((per_node_s - 80.0 / (100.0 * r.horizon_s)).abs() < 1e-15);
+        assert_eq!(r.total_messages(), 50 + 30 + 200);
+    }
+
+    #[test]
+    fn recall_precision() {
+        let outs = vec![outcome(10, 0, 0, 1)];
+        let r = report(&outs);
+        // answered 9 of qs 10.
+        assert!((r.mean_recall() - 0.9).abs() < 1e-12);
+        assert!((r.mean_precision() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = report(&[]);
+        assert_eq!(r.queries, 0);
+        assert_eq!(r.worst_stale_fraction(), 0.0);
+        assert_eq!(r.mean_recall(), 1.0);
+        assert_eq!(r.mean_precision(), 1.0);
+    }
+}

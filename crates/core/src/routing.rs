@@ -1,0 +1,255 @@
+//! Query processing in a domain (§5, §6.1.2).
+//!
+//! A query posed at a peer is sent to the domain's summary peer, matched
+//! against the global summary (peer localization: `P_Q`), and forwarded
+//! according to a **routing policy** built on the cooperation list:
+//!
+//! * [`RoutingPolicy::All`] — visit all of `P_Q` (the paper's default
+//!   and Figure 4's worst-case accounting);
+//! * [`RoutingPolicy::FreshOnly`] — visit `P_Q ∩ P_fresh`: maximum
+//!   precision, possible false negatives (Figure 5);
+//! * [`RoutingPolicy::Extended`] — visit `P_Q ∪ P_old`: maximum recall,
+//!   possible false positives.
+//!
+//! The outcome carries both the paper's **worst-case** accounting (every
+//! stale-flagged peer counts as wrong) and the **real** accounting
+//! against exact ground truth.
+
+use p2psim::network::NodeId;
+use saintetiq::hierarchy::SummaryTree;
+use saintetiq::query::proposition::Proposition;
+use saintetiq::query::relevant_sources;
+
+use crate::coop::CooperationList;
+
+/// Which subset of the localized peers a query visits (§6.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// `V = P_Q`.
+    #[default]
+    All,
+    /// `V = P_Q ∩ P_fresh` — no stale-flag false positives, FN risk.
+    FreshOnly,
+    /// `V = P_Q ∪ P_old` — no false negatives from stale flags, FP risk.
+    Extended,
+}
+
+/// Everything measured about one routed query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutcome {
+    /// Peer localization result `P_Q` (from the global summary).
+    pub pq: Vec<NodeId>,
+    /// Peers actually visited under the policy (`V`).
+    pub visited: Vec<NodeId>,
+    /// Peers that answered (up and truly matching).
+    pub answered: usize,
+    /// Ground-truth query scope size `|QS|` (up peers with matching data).
+    pub qs_size: usize,
+    /// Worst-case accounting (Figure 4): stale-flagged peers inside `P_Q`.
+    pub stale_selected: usize,
+    /// Worst-case accounting: stale-flagged peers outside `P_Q`.
+    pub stale_unselected: usize,
+    /// Real false positives: visited peers that are down or don't match.
+    pub real_fp: usize,
+    /// Real false negatives: up, matching peers that were not visited.
+    pub real_fn: usize,
+    /// Messages: 1 (query to SP) + |V| (forwards) + answers (§6.1.2's
+    /// `Cd = 1 + |P_Q| + (1 − FP)·|P_Q|`).
+    pub messages: u64,
+}
+
+/// Routes one query inside a domain and scores it against ground truth.
+///
+/// `truth(peer)` returns `(is_up, currently_matches)` — the exact state
+/// the paper's accounting compares against.
+pub fn route_query<F: Fn(NodeId) -> (bool, bool)>(
+    gs: &SummaryTree,
+    cl: &CooperationList,
+    prop: &Proposition,
+    policy: RoutingPolicy,
+    domain_size: usize,
+    truth: F,
+) -> QueryOutcome {
+    let pq: Vec<NodeId> =
+        relevant_sources(gs, prop).into_iter().map(|s| NodeId(s.0)).collect();
+
+    let visited: Vec<NodeId> = match policy {
+        RoutingPolicy::All => pq.clone(),
+        RoutingPolicy::FreshOnly => pq
+            .iter()
+            .copied()
+            .filter(|&p| cl.freshness(p).map(|f| !f.as_stale_bit()).unwrap_or(false))
+            .collect(),
+        RoutingPolicy::Extended => {
+            let mut v = pq.clone();
+            for p in cl.old_partners() {
+                if !v.contains(&p) {
+                    v.push(p);
+                }
+            }
+            v.sort_unstable_by_key(|p| p.0);
+            v.dedup();
+            v
+        }
+    };
+
+    let mut out = QueryOutcome {
+        pq: pq.clone(),
+        visited: visited.clone(),
+        ..Default::default()
+    };
+
+    // Worst-case stale accounting (Figure 4): every stale-flagged partner
+    // is assumed wrong — FP if selected, FN otherwise.
+    for p in cl.old_partners() {
+        if pq.contains(&p) {
+            out.stale_selected += 1;
+        } else {
+            out.stale_unselected += 1;
+        }
+    }
+
+    // Real accounting against exact ground truth.
+    let mut truly_matching: Vec<NodeId> = Vec::new();
+    for i in 0..domain_size {
+        let p = NodeId(i as u32);
+        let (up, matches) = truth(p);
+        if up && matches {
+            truly_matching.push(p);
+        }
+    }
+    out.qs_size = truly_matching.len();
+    for &p in &visited {
+        let (up, matches) = truth(p);
+        if up && matches {
+            out.answered += 1;
+        } else {
+            out.real_fp += 1;
+        }
+    }
+    out.real_fn = truly_matching.iter().filter(|p| !visited.contains(p)).count();
+
+    out.messages = 1 + visited.len() as u64 + out.answered as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freshness::Freshness;
+    use fuzzy::descriptor::{DescriptorSet, LabelId};
+    use saintetiq::cell::{CellKey, SourceId};
+    use saintetiq::engine::{incorporate_cell, EngineConfig};
+    use saintetiq::query::proposition::Clause;
+
+    /// Builds a GS where peers 0..4 own cell (0,0) and peers 5..9 own
+    /// (1,1); query selects attr0 = 0.
+    fn setup() -> (SummaryTree, CooperationList, Proposition) {
+        let mut gs = SummaryTree::new("bk", vec![2, 2]);
+        let cfg = EngineConfig::default();
+        for p in 0..5u32 {
+            incorporate_cell(
+                &mut gs,
+                &cfg,
+                &CellKey(vec![LabelId(0), LabelId(0)]),
+                SourceId(p),
+                1.0,
+                &[1.0, 1.0],
+                None,
+            );
+        }
+        for p in 5..10u32 {
+            incorporate_cell(
+                &mut gs,
+                &cfg,
+                &CellKey(vec![LabelId(1), LabelId(1)]),
+                SourceId(p),
+                1.0,
+                &[1.0, 1.0],
+                None,
+            );
+        }
+        let mut cl = CooperationList::new();
+        for p in 0..10 {
+            cl.add_partner(NodeId(p), Freshness::Fresh);
+        }
+        let prop = Proposition {
+            clauses: vec![Clause { attr: 0, set: DescriptorSet::singleton(LabelId(0)) }],
+        };
+        (gs, cl, prop)
+    }
+
+    #[test]
+    fn all_policy_visits_pq() {
+        let (gs, cl, prop) = setup();
+        let out = route_query(&gs, &cl, &prop, RoutingPolicy::All, 10, |p| (true, p.0 < 5));
+        assert_eq!(out.pq.len(), 5);
+        assert_eq!(out.visited.len(), 5);
+        assert_eq!(out.answered, 5);
+        assert_eq!(out.qs_size, 5);
+        assert_eq!(out.real_fp, 0);
+        assert_eq!(out.real_fn, 0);
+        // Cd = 1 + 5 + 5.
+        assert_eq!(out.messages, 11);
+    }
+
+    #[test]
+    fn fresh_only_skips_stale_flags() {
+        let (gs, mut cl, prop) = setup();
+        cl.set_freshness(NodeId(0), Freshness::NeedsRefresh);
+        cl.set_freshness(NodeId(1), Freshness::Unavailable);
+        let out =
+            route_query(&gs, &cl, &prop, RoutingPolicy::FreshOnly, 10, |p| (true, p.0 < 5));
+        assert_eq!(out.visited.len(), 3, "two stale P_Q members skipped");
+        // Those two still match in truth → real FNs.
+        assert_eq!(out.real_fn, 2);
+        assert_eq!(out.real_fp, 0);
+        assert_eq!(out.stale_selected, 2, "stale & in P_Q");
+    }
+
+    #[test]
+    fn extended_policy_adds_old_partners() {
+        let (gs, mut cl, prop) = setup();
+        // Peer 7 is flagged old (not in P_Q): Extended must visit it too.
+        cl.set_freshness(NodeId(7), Freshness::NeedsRefresh);
+        let out = route_query(&gs, &cl, &prop, RoutingPolicy::Extended, 10, |p| {
+            (true, p.0 < 5 || p.0 == 7) // 7 now matches: drifted data!
+        });
+        assert!(out.visited.contains(&NodeId(7)));
+        assert_eq!(out.real_fn, 0, "extension recovered the drifted peer");
+        assert_eq!(out.answered, 6);
+    }
+
+    #[test]
+    fn down_peers_count_as_real_fp() {
+        let (gs, cl, prop) = setup();
+        // Peers 3 and 4 silently failed: still in GS/CL as fresh.
+        let out = route_query(&gs, &cl, &prop, RoutingPolicy::All, 10, |p| {
+            (p.0 != 3 && p.0 != 4, p.0 < 5)
+        });
+        assert_eq!(out.real_fp, 2, "failed peers yield stale answers");
+        assert_eq!(out.answered, 3);
+        assert_eq!(out.qs_size, 3);
+    }
+
+    #[test]
+    fn worst_case_accounting_counts_all_stale_flags() {
+        let (gs, mut cl, prop) = setup();
+        cl.set_freshness(NodeId(2), Freshness::NeedsRefresh); // in P_Q
+        cl.set_freshness(NodeId(8), Freshness::NeedsRefresh); // not in P_Q
+        let out = route_query(&gs, &cl, &prop, RoutingPolicy::All, 10, |p| (true, p.0 < 5));
+        assert_eq!(out.stale_selected, 1);
+        assert_eq!(out.stale_unselected, 1);
+    }
+
+    #[test]
+    fn messages_follow_cd_formula() {
+        let (gs, cl, prop) = setup();
+        // 2 of the 5 matching peers are down → answers = 3.
+        let out = route_query(&gs, &cl, &prop, RoutingPolicy::All, 10, |p| {
+            (p.0 > 1, p.0 < 5)
+        });
+        // 1 + |V| + answered = 1 + 5 + 3.
+        assert_eq!(out.messages, 9);
+    }
+}

@@ -1,0 +1,507 @@
+//! The full multi-domain system: §5.2.2's inter-domain query routing
+//! with partial- and total-lookup termination.
+//!
+//! When a domain `d_i` answers fewer than the `C_t` results the user
+//! requires, the paper floods outward exploiting *group locality*: the
+//! summary peer sends a flooding request to the peers that answered
+//! (`P_i`) **and** to the originator; each of them forwards the query to
+//! its neighbors *outside its domain* with a limited TTL, stopping when a
+//! new domain is reached. The SP additionally contacts the summary peers
+//! it knows through long-range links, "accelerating covering a large
+//! number of domains". Routing terminates when enough results are
+//! gathered (*partial lookup*) or the network is covered (*total
+//! lookup*).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use fuzzy::bk::BackgroundKnowledge;
+use p2psim::network::{MessageClass, Network, NodeId};
+use p2psim::topology::{Graph, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saintetiq::engine::EngineConfig;
+use saintetiq::hierarchy::SummaryTree;
+use saintetiq::query::proposition::{reformulate, SummaryQuery};
+use saintetiq::query::relevant_sources;
+use saintetiq::wire;
+
+use crate::cache::QueryCache;
+use crate::config::SimConfig;
+use crate::construction::{construct_domains, elect_superpeers, Domains};
+use crate::coop::CooperationList;
+use crate::error::P2pError;
+use crate::freshness::Freshness;
+use crate::workload::{generate_peer_data, make_templates, PeerData, QueryTemplate};
+
+/// How many results a query needs (§5.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupTarget {
+    /// `C_t` result tuples suffice.
+    Partial(usize),
+    /// Every result in the network is wanted.
+    Total,
+}
+
+/// Per-summary-peer state.
+#[derive(Debug)]
+struct SpState {
+    gs: SummaryTree,
+    cl: CooperationList,
+    /// Long-range links to other summary peers (average degree k).
+    long_links: Vec<NodeId>,
+}
+
+/// Outcome of one multi-domain query.
+#[derive(Debug, Clone)]
+pub struct MultiDomainOutcome {
+    /// Result tuples gathered (one per answering peer — the paper's
+    /// high-selectivity assumption).
+    pub results: usize,
+    /// Ground-truth result count network-wide.
+    pub results_total: usize,
+    /// Domains whose GS was queried.
+    pub domains_visited: usize,
+    /// Total messages (intra-domain + flooding + responses).
+    pub messages: u64,
+    /// Whether the lookup target was met.
+    pub satisfied: bool,
+}
+
+impl MultiDomainOutcome {
+    /// Network-wide recall of the query.
+    pub fn recall(&self) -> f64 {
+        if self.results_total == 0 {
+            1.0
+        } else {
+            self.results as f64 / self.results_total as f64
+        }
+    }
+}
+
+/// A constructed multi-domain summary-management system over a power-law
+/// topology: the static-network view of the whole paper (construction +
+/// global summaries + inter-domain query processing).
+pub struct MultiDomainSystem {
+    net: Network,
+    domains: Domains,
+    templates: Vec<QueryTemplate>,
+    reformulated: Vec<SummaryQuery>,
+    peers: Vec<Option<PeerData>>,
+    sps: BTreeMap<NodeId, SpState>,
+    flood_ttl: u32,
+    /// §5.2.2 group locality: per-peer answer caches consulted by the
+    /// inter-domain flood before paying for a domain visit.
+    caches: Vec<QueryCache>,
+    /// Cache hits observed across routed queries (metrics).
+    cache_hits: u64,
+}
+
+impl MultiDomainSystem {
+    /// Builds the system: topology → SP election → domain construction →
+    /// per-peer data + local summaries → per-domain global summaries →
+    /// SP long-range links.
+    pub fn build(cfg: &SimConfig, domain_target: usize) -> Result<Self, P2pError> {
+        cfg.validate()?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let topo = TopologyConfig { nodes: cfg.n_peers, m: cfg.topology_m, ..Default::default() };
+        let mut net = Network::new(Graph::barabasi_albert(&topo, &mut rng));
+
+        let sp_count = (cfg.n_peers / domain_target.max(2)).max(1);
+        let superpeers = elect_superpeers(&net, sp_count);
+        let domains = construct_domains(&mut net, &superpeers, cfg.sumpeer_ttl);
+
+        let bk = BackgroundKnowledge::medical_cbk();
+        let templates = make_templates(cfg.template_count);
+        let reformulated: Vec<SummaryQuery> = templates
+            .iter()
+            .map(|t| reformulate(&t.query, &bk))
+            .collect::<Result<_, _>>()?;
+
+        // Peer data for every partner.
+        let mut peers: Vec<Option<PeerData>> = vec![None; cfg.n_peers];
+        for (i, assignment) in domains.assignment.iter().enumerate() {
+            if assignment.is_some() {
+                peers[i] = Some(generate_peer_data(
+                    &mut rng,
+                    i as u32,
+                    &bk,
+                    &templates,
+                    cfg.match_fraction,
+                    cfg.records_per_peer,
+                ));
+            }
+        }
+
+        // Global summaries per SP.
+        let mut sps = BTreeMap::new();
+        for &sp in &superpeers {
+            let mut gs = SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
+            let mut cl = CooperationList::new();
+            for member in domains.members(sp) {
+                if let Some(data) = &peers[member.index()] {
+                    let tree =
+                        wire::decode(&data.summary).expect("locally encoded summaries decode");
+                    saintetiq::merge::merge_into(&mut gs, &tree, &EngineConfig::default())
+                        .expect("same CBK");
+                    cl.add_partner(member, Freshness::Fresh);
+                }
+            }
+            sps.insert(sp, SpState { gs, cl, long_links: Vec::new() });
+        }
+
+        // Long-range SP links: each SP knows ~k random other SPs.
+        let sp_ids: Vec<NodeId> = superpeers.clone();
+        let k = cfg.interdomain_k.round() as usize;
+        for &sp in &sp_ids {
+            let mut links = BTreeSet::new();
+            let mut guard = 0;
+            while links.len() < k.min(sp_ids.len().saturating_sub(1)) && guard < 100 {
+                guard += 1;
+                let other = sp_ids[rng.gen_range(0..sp_ids.len())];
+                if other != sp {
+                    links.insert(other);
+                }
+            }
+            sps.get_mut(&sp).expect("sp registered").long_links = links.into_iter().collect();
+        }
+
+        let caches = (0..cfg.n_peers).map(|_| QueryCache::new(8)).collect();
+        Ok(Self {
+            net,
+            domains,
+            templates,
+            reformulated,
+            peers,
+            sps,
+            flood_ttl: cfg.flood_ttl.min(2),
+            caches,
+            cache_hits: 0,
+        })
+    }
+
+    /// Cache hits observed during flooding so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// The underlying network (counters, topology).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The domain map.
+    pub fn domains(&self) -> &Domains {
+        &self.domains
+    }
+
+    /// Number of query templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Ground truth: all peers currently matching `template`.
+    pub fn true_matches(&self, template: usize) -> Vec<NodeId> {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.as_ref().map(|d| d.matches(template)).unwrap_or(false))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Queries one domain's GS: relevant peers, answers, messages.
+    fn query_domain(&self, sp: NodeId, template: usize) -> (Vec<NodeId>, usize, u64) {
+        let state = &self.sps[&sp];
+        let prop = &self.reformulated[template].proposition;
+        // Only current partners are contacted: the CL is the membership
+        // authority even when the GS still carries departed peers' cells.
+        let pq: Vec<NodeId> = relevant_sources(&state.gs, prop)
+            .into_iter()
+            .map(|s| NodeId(s.0))
+            .filter(|p| state.cl.contains(*p))
+            .collect();
+        let answering: Vec<NodeId> = pq
+            .iter()
+            .copied()
+            .filter(|p| {
+                self.peers[p.index()]
+                    .as_ref()
+                    .map(|d| d.matches(template))
+                    .unwrap_or(false)
+            })
+            .collect();
+        // 1 query to the SP happens at the caller; here: forwards + hits.
+        let found = answering.len();
+        let messages = pq.len() as u64 + found as u64;
+        (answering, found, messages)
+    }
+
+    /// Routes a query posed at `origin` through the network (§5.2.2).
+    pub fn route(&mut self, origin: NodeId, template: usize, target: LookupTarget) -> MultiDomainOutcome {
+        let results_total = self.true_matches(template).len();
+        let need = match target {
+            LookupTarget::Partial(ct) => ct,
+            LookupTarget::Total => usize::MAX,
+        };
+
+        let mut messages: u64 = 0;
+        let mut answered: BTreeSet<NodeId> = BTreeSet::new();
+        let mut visited_domains: BTreeSet<NodeId> = BTreeSet::new();
+        // Domains to process next: discovered through flooding/long links.
+        let mut frontier: VecDeque<NodeId> = VecDeque::new();
+
+        let Some(home_sp) = self.domains.assignment[origin.index()] else {
+            return MultiDomainOutcome {
+                results: 0,
+                results_total,
+                domains_visited: 0,
+                messages: 0,
+                satisfied: false,
+            };
+        };
+        frontier.push_back(home_sp);
+
+        'domains: while let Some(sp) = frontier.pop_front() {
+            if !visited_domains.insert(sp) {
+                continue;
+            }
+            messages += 1; // the query message to this domain's SP
+            let (answering, _found, msgs) = self.query_domain(sp, template);
+            messages += msgs;
+            answered.extend(answering.iter().copied());
+            self.net.count_messages(MessageClass::Query, 1 + msgs);
+            // Group locality (§5.2.2): the originator and the answering
+            // peers remember who answered this template.
+            self.caches[origin.index()].insert(template, answering.clone());
+            for &p in &answering {
+                self.caches[p.index()].insert(template, answering.clone());
+            }
+            if answered.len() >= need {
+                break;
+            }
+
+            // §5.2.2: flood requests to the answering peers and the
+            // originator, who forward the query outside their domain with
+            // a limited TTL; plus the SP's long-range links.
+            let mut flooders: Vec<NodeId> = answering;
+            if self.domains.assignment[origin.index()] == Some(sp) {
+                flooders.push(origin);
+            }
+            self.net
+                .count_messages(MessageClass::Flood, flooders.len() as u64);
+            messages += flooders.len() as u64;
+            for f in flooders {
+                for (reached, _) in self.net.flood_reach(f, self.flood_ttl) {
+                    messages += 1; // each forward is a message
+                    // A reached neighbor with a cached answer for this
+                    // template replies immediately — "its neighbors may
+                    // have cached answers to similar queries".
+                    if let Some(hit) = self.caches[reached.index()].lookup(template) {
+                        let cached = hit.answering.clone();
+                        self.cache_hits += 1;
+                        messages += 1; // the cache-holder's reply
+                        for q in cached {
+                            // Validate against ground truth: stale cache
+                            // entries (peer gone or drifted) add nothing.
+                            let valid = self.peers[q.index()]
+                                .as_ref()
+                                .map(|d| d.matches(template))
+                                .unwrap_or(false);
+                            if valid {
+                                answered.insert(q);
+                            }
+                        }
+                        if answered.len() >= need {
+                            break 'domains;
+                        }
+                    }
+                    if let Some(other_sp) = self.domains.assignment[reached.index()] {
+                        if !visited_domains.contains(&other_sp) {
+                            frontier.push_back(other_sp);
+                        }
+                    }
+                }
+            }
+            let links = self.sps[&sp].long_links.clone();
+            for other in links {
+                messages += 1;
+                if !visited_domains.contains(&other) {
+                    frontier.push_back(other);
+                }
+            }
+        }
+
+        MultiDomainOutcome {
+            results: answered.len(),
+            results_total,
+            domains_visited: visited_domains.len(),
+            messages,
+            satisfied: answered.len() >= need.min(results_total),
+        }
+    }
+
+    /// Convenience: average outcome over `samples` random origins.
+    pub fn route_averaged(
+        &mut self,
+        template: usize,
+        target: LookupTarget,
+        samples: usize,
+        seed: u64,
+    ) -> (f64, f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut msgs = 0.0;
+        let mut recall = 0.0;
+        let mut domains = 0.0;
+        let mut taken = 0usize;
+        let mut guard = 0usize;
+        while taken < samples && guard < samples * 50 {
+            guard += 1;
+            let origin = NodeId(rng.gen_range(0..self.net.len() as u32));
+            if self.domains.assignment[origin.index()].is_none() {
+                continue;
+            }
+            let out = self.route(origin, template, target);
+            msgs += out.messages as f64;
+            recall += out.recall();
+            domains += out.domains_visited as f64;
+            taken += 1;
+        }
+        let n = taken.max(1) as f64;
+        (msgs / n, recall / n, domains / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2psim::time::SimTime;
+
+    fn cfg(n: usize, seed: u64) -> SimConfig {
+        let mut c = SimConfig::paper_defaults(n, 0.3);
+        c.horizon = SimTime::from_hours(1);
+        c.records_per_peer = 10;
+        c.seed = seed;
+        c
+    }
+
+    #[test]
+    fn build_covers_network_with_domains() {
+        let sys = MultiDomainSystem::build(&cfg(300, 1), 40).unwrap();
+        assert!(sys.domains().superpeers.len() >= 6);
+        let assigned = sys.domains().assigned_count();
+        assert!(assigned as f64 > 0.9 * (300 - sys.domains().superpeers.len()) as f64);
+    }
+
+    #[test]
+    fn total_lookup_finds_everything() {
+        let mut sys = MultiDomainSystem::build(&cfg(250, 2), 30).unwrap();
+        let matches = sys.true_matches(0);
+        assert!(!matches.is_empty(), "workload guarantees ~10% matches");
+        // From several origins, total lookup reaches full recall: the GS
+        // layer is exact on crisp predicates, and the SP long links +
+        // flooding cover all domains.
+        let origin = NodeId(
+            (0..250u32)
+                .find(|&i| sys.domains().assignment[i as usize].is_some())
+                .expect("some partner"),
+        );
+        let out = sys.route(origin, 0, LookupTarget::Total);
+        assert_eq!(out.results, out.results_total, "total lookup recall");
+        assert!(out.satisfied);
+        assert!(out.domains_visited >= 2, "must have crossed domains");
+    }
+
+    #[test]
+    fn partial_lookup_stops_early() {
+        let mut sys = MultiDomainSystem::build(&cfg(250, 3), 30).unwrap();
+        let origin = NodeId(
+            (0..250u32)
+                .find(|&i| sys.domains().assignment[i as usize].is_some())
+                .expect("some partner"),
+        );
+        let total = sys.route(origin, 0, LookupTarget::Total);
+        let partial = sys.route(origin, 0, LookupTarget::Partial(2));
+        assert!(partial.results >= 2.min(partial.results_total));
+        assert!(
+            partial.messages <= total.messages,
+            "partial {} must not exceed total {}",
+            partial.messages,
+            total.messages
+        );
+        assert!(partial.domains_visited <= total.domains_visited);
+    }
+
+    #[test]
+    fn partial_lookup_message_cost_grows_with_ct() {
+        let mut sys = MultiDomainSystem::build(&cfg(300, 4), 30).unwrap();
+        let (m1, _, d1) = sys.route_averaged(0, LookupTarget::Partial(1), 10, 9);
+        let (m8, _, d8) = sys.route_averaged(0, LookupTarget::Partial(8), 10, 9);
+        assert!(m8 >= m1, "more results need more messages: {m8} vs {m1}");
+        assert!(d8 >= d1, "and more domains: {d8} vs {d1}");
+    }
+
+    #[test]
+    fn caches_warm_up_and_cut_costs() {
+        let mut sys = MultiDomainSystem::build(&cfg(300, 8), 30).unwrap();
+        let origin = NodeId(
+            (0..300u32)
+                .find(|&i| sys.domains().assignment[i as usize].is_some())
+                .expect("some partner"),
+        );
+        // Warm the caches with a total lookup, then measure a partial
+        // lookup: cached neighbors let it satisfy `C_t` with fewer (or at
+        // worst equal) domain visits than the cold system needed.
+        let need = sys.true_matches(0).len().min(10).max(2);
+        let mut cold_sys = MultiDomainSystem::build(&cfg(300, 8), 30).unwrap();
+        let cold = cold_sys.route(origin, 0, LookupTarget::Partial(need));
+
+        let _ = sys.route(origin, 0, LookupTarget::Total); // warm-up
+        let warm = sys.route(origin, 0, LookupTarget::Partial(need));
+        assert!(
+            warm.domains_visited <= cold.domains_visited,
+            "warm visited {} domains vs cold {}",
+            warm.domains_visited,
+            cold.domains_visited
+        );
+        assert!(warm.satisfied);
+        assert!(sys.cache_hits() > 0, "flooded neighbors served from cache");
+        // Total-lookup recall is unaffected by caching.
+        let total_warm = sys.route(origin, 0, LookupTarget::Total);
+        assert_eq!(total_warm.results, total_warm.results_total);
+    }
+
+    #[test]
+    fn cached_answers_never_inflate_results() {
+        // Cache entries are validated against ground truth, so results
+        // never exceed the true match count.
+        let mut sys = MultiDomainSystem::build(&cfg(200, 9), 25).unwrap();
+        for i in 0..10u32 {
+            let origin = NodeId(i * 7 % 200);
+            if sys.domains().assignment[origin.index()].is_none() {
+                continue;
+            }
+            let out = sys.route(origin, 0, LookupTarget::Total);
+            assert!(out.results <= out.results_total);
+        }
+    }
+
+    #[test]
+    fn unassigned_origin_yields_empty_outcome() {
+        let mut sys = MultiDomainSystem::build(&cfg(100, 5), 20).unwrap();
+        // A superpeer is not a partner: route from it directly is not
+        // defined by §5 (queries are posed at client peers).
+        let sp = sys.domains().superpeers[0];
+        let out = sys.route(sp, 0, LookupTarget::Partial(1));
+        assert_eq!(out.messages, 0);
+        assert!(!out.satisfied);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = MultiDomainSystem::build(&cfg(150, 7), 25).unwrap();
+        let b = MultiDomainSystem::build(&cfg(150, 7), 25).unwrap();
+        assert_eq!(a.domains().superpeers, b.domains().superpeers);
+        assert_eq!(a.domains().assignment, b.domains().assignment);
+        assert_eq!(a.true_matches(0), b.true_matches(0));
+    }
+}

@@ -1,0 +1,239 @@
+//! Workload generation (Table 3: "200 queries, each matched by 10 % of
+//! the total number of peers").
+//!
+//! A workload is a set of **query templates** over the medical CBK; each
+//! peer's database is generated to match each template independently with
+//! probability `match_fraction`, and to *provably* not match the others
+//! (templates select on distinct diseases, and background tuples draw
+//! from a disjoint disease pool). Ground truth is therefore exact, which
+//! the stale-answer accounting of Figures 4–5 requires.
+
+use bytes::Bytes;
+use fuzzy::bk::BackgroundKnowledge;
+use rand::Rng;
+use relation::generator::{
+    avoiding_patient, matching_patient, MatchTarget, PatientDistributions,
+};
+use relation::predicate::Predicate;
+use relation::query::SelectQuery;
+use relation::schema::Schema;
+use relation::table::Table;
+use saintetiq::cell::SourceId;
+use saintetiq::engine::{EngineConfig, SaintEtiQEngine};
+use saintetiq::wire;
+
+/// One workload query template.
+#[derive(Debug, Clone)]
+pub struct QueryTemplate {
+    /// Template name.
+    pub name: String,
+    /// The disease it selects on (the discriminating attribute).
+    pub disease: String,
+    /// The routable selection query (`select age where disease = ...`).
+    pub query: SelectQuery,
+    /// Generator-side target for producing matching rows.
+    pub target: MatchTarget,
+}
+
+/// Diseases reserved for templates, in template-index order. The
+/// remaining diseases of the CBK form the background pool.
+const TEMPLATE_DISEASES: [&str; 3] = ["malaria", "anorexia", "diabetes"];
+const BACKGROUND_DISEASES: [&str; 5] =
+    ["tuberculosis", "influenza", "bulimia", "hypertension", "asthma"];
+
+/// Builds `count` (1..=3) templates over the medical CBK.
+pub fn make_templates(count: usize) -> Vec<QueryTemplate> {
+    assert!((1..=TEMPLATE_DISEASES.len()).contains(&count));
+    TEMPLATE_DISEASES[..count]
+        .iter()
+        .map(|d| QueryTemplate {
+            name: format!("q-{d}"),
+            disease: d.to_string(),
+            query: SelectQuery::new(
+                vec!["age".into()],
+                vec![Predicate::eq("disease", *d)],
+            ),
+            target: MatchTarget { disease: Some(d.to_string()), ..Default::default() },
+        })
+        .collect()
+}
+
+/// Distributions for background (non-matching) patients: only
+/// background-pool diseases, so no accidental template match can occur.
+pub fn background_distributions() -> PatientDistributions {
+    PatientDistributions {
+        diseases: BACKGROUND_DISEASES.iter().map(|d| (d.to_string(), 1.0)).collect(),
+        ..Default::default()
+    }
+}
+
+/// One peer's generated state: its database-derived artifacts.
+#[derive(Debug, Clone)]
+pub struct PeerData {
+    /// Bit `t` set ⇔ the database currently holds ≥1 tuple matching
+    /// template `t` (exact ground truth).
+    pub match_bits: u32,
+    /// The encoded local summary (what `localsum`/reconciliation ships).
+    pub summary: Bytes,
+    /// Number of distinct grid cells in the local summary.
+    pub cells: usize,
+}
+
+impl PeerData {
+    /// True when the peer currently matches template `t`.
+    pub fn matches(&self, t: usize) -> bool {
+        self.match_bits & (1 << t) != 0
+    }
+}
+
+/// Generates one peer's database and local summary.
+///
+/// Each template is matched independently with probability
+/// `match_fraction`; matched templates contribute one guaranteed matching
+/// tuple, the rest of the `records` rows are background. Ground truth is
+/// re-verified by exact evaluation before the table is discarded.
+pub fn generate_peer_data<R: Rng + ?Sized>(
+    rng: &mut R,
+    peer: u32,
+    bk: &BackgroundKnowledge,
+    templates: &[QueryTemplate],
+    match_fraction: f64,
+    records: usize,
+) -> PeerData {
+    let bg = background_distributions();
+    let mut table = Table::new(Schema::patient());
+    let mut match_bits = 0u32;
+    for (t, tpl) in templates.iter().enumerate() {
+        if rng.gen_bool(match_fraction.clamp(0.0, 1.0)) {
+            match_bits |= 1 << t;
+            table
+                .insert(matching_patient(rng, &bg, &tpl.target))
+                .expect("generated row conforms");
+        }
+    }
+    while table.len() < records.max(1) {
+        // Background rows avoid every template disease by construction
+        // (the background distribution's pool is disjoint); `avoiding`
+        // against the first template keeps the intent explicit.
+        let row = if templates.is_empty() {
+            relation::generator::random_patient(rng, &bg)
+        } else {
+            avoiding_patient(rng, &bg, &templates[0].target)
+        };
+        table.insert(row).expect("generated row conforms");
+    }
+
+    // Exact ground-truth verification (the workload's core guarantee).
+    for (t, tpl) in templates.iter().enumerate() {
+        let truly = tpl.query.matches_any(&table).expect("valid query");
+        debug_assert_eq!(truly, match_bits & (1 << t) != 0, "ground truth drift");
+    }
+
+    let mut engine = SaintEtiQEngine::new(
+        bk.clone(),
+        &Schema::patient(),
+        EngineConfig::default(),
+        SourceId(peer),
+    )
+    .expect("CBK binds to the patient schema");
+    engine.summarize_table(&table);
+    let tree = engine.into_tree();
+    PeerData {
+        match_bits,
+        cells: tree.leaf_count(),
+        summary: wire::encode(&tree),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn templates_select_distinct_diseases() {
+        let ts = make_templates(3);
+        assert_eq!(ts.len(), 3);
+        let diseases: Vec<&str> = ts.iter().map(|t| t.disease.as_str()).collect();
+        assert_eq!(diseases, vec!["malaria", "anorexia", "diabetes"]);
+        for t in &ts {
+            assert_eq!(t.query.projection, vec!["age".to_string()]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_templates_rejected() {
+        make_templates(4);
+    }
+
+    #[test]
+    fn background_pool_is_disjoint_from_templates() {
+        let bg = background_distributions();
+        for (d, _) in &bg.diseases {
+            assert!(!TEMPLATE_DISEASES.contains(&d.as_str()), "{d} is a template disease");
+        }
+    }
+
+    #[test]
+    fn peer_data_ground_truth_is_exact() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let templates = make_templates(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for peer in 0..50 {
+            let pd = generate_peer_data(&mut rng, peer, &bk, &templates, 0.5, 20);
+            // Decode the summary and check that the match bits agree with
+            // what summary-level routing would conclude for fresh data.
+            let tree = wire::decode(&pd.summary).unwrap();
+            for (t, tpl) in templates.iter().enumerate() {
+                let sq = saintetiq::query::proposition::reformulate(&tpl.query, &bk).unwrap();
+                let sources =
+                    saintetiq::query::relevant_sources(&tree, &sq.proposition);
+                let summary_says = sources.contains(&SourceId(peer));
+                assert_eq!(
+                    summary_says,
+                    pd.matches(t),
+                    "peer {peer} template {t}: summary routing must agree with \
+                     ground truth on fresh data (crisp disease attribute)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn match_probability_is_respected() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let templates = make_templates(1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 2000;
+        let matches = (0..n)
+            .filter(|&p| {
+                generate_peer_data(&mut rng, p, &bk, &templates, 0.10, 10).matches(0)
+            })
+            .count();
+        let rate = matches as f64 / n as f64;
+        assert!((0.07..=0.13).contains(&rate), "match rate {rate} (want ≈0.10)");
+    }
+
+    #[test]
+    fn zero_match_fraction_yields_no_matches() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let templates = make_templates(2);
+        let mut rng = StdRng::seed_from_u64(11);
+        for p in 0..20 {
+            let pd = generate_peer_data(&mut rng, p, &bk, &templates, 0.0, 15);
+            assert_eq!(pd.match_bits, 0);
+        }
+    }
+
+    #[test]
+    fn summaries_are_compact() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let templates = make_templates(3);
+        let mut rng = StdRng::seed_from_u64(13);
+        let pd = generate_peer_data(&mut rng, 0, &bk, &templates, 0.1, 24);
+        assert!(pd.cells <= 24 * 4, "cells {}", pd.cells);
+        assert!(pd.summary.len() < 64 * 1024, "summary bytes {}", pd.summary.len());
+    }
+}

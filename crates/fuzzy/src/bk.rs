@@ -1,0 +1,400 @@
+//! Background Knowledge (BK): the per-attribute vocabularies that drive
+//! summarization.
+//!
+//! The paper (§3.2.1): *"The fuzzy set theory is used to translate records
+//! according to a Background Knowledge (BK) provided by the user [...] built
+//! over the attributes that are considered relevant to the summarization
+//! process."* In the P2P setting all peers share a **Common Background
+//! Knowledge (CBK)** (§4.1) so their summaries can be merged; the cited
+//! real-world example is SNOMED CT.
+//!
+//! [`BackgroundKnowledge::medical_cbk`] reproduces the paper's running
+//! example exactly (Figure 2 + Tables 1–2): linguistic partitions on `age`
+//! and `bmi`, flat taxonomies on `sex` and `disease`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptor::{DescriptorSet, Grade, LabelId};
+use crate::error::FuzzyError;
+use crate::linguistic::LinguisticVariable;
+use crate::partition::FuzzyPartition;
+use crate::taxonomy::Taxonomy;
+
+/// The vocabulary of one summarized attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeVocabulary {
+    /// Numeric attribute described by a linguistic variable.
+    Numeric(LinguisticVariable),
+    /// Categorical attribute described by a taxonomy.
+    Categorical(Taxonomy),
+}
+
+impl AttributeVocabulary {
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        match self {
+            Self::Numeric(v) => v.name(),
+            Self::Categorical(t) => t.name(),
+        }
+    }
+
+    /// Number of labels in the vocabulary.
+    pub fn label_count(&self) -> usize {
+        match self {
+            Self::Numeric(v) => v.label_count(),
+            Self::Categorical(t) => t.label_count(),
+        }
+    }
+
+    /// Looks a label up by name.
+    pub fn label_id(&self, label: &str) -> Option<LabelId> {
+        match self {
+            Self::Numeric(v) => v.label_id(label),
+            Self::Categorical(t) => t.label_id(label),
+        }
+    }
+
+    /// The name of a label id.
+    pub fn label_name(&self, id: LabelId) -> Option<&str> {
+        match self {
+            Self::Numeric(v) => v.label_name(id),
+            Self::Categorical(t) => t.label_name(id),
+        }
+    }
+
+    /// Fuzzifies a numeric value (no-op set for categorical vocabularies).
+    pub fn fuzzify_numeric(&self, x: f64) -> Vec<(LabelId, Grade)> {
+        match self {
+            Self::Numeric(v) => v.fuzzify(x),
+            Self::Categorical(_) => Vec::new(),
+        }
+    }
+
+    /// Fuzzifies with threshold `tau` and renormalization (numeric) or
+    /// crisp categorization (categorical).
+    pub fn descriptors_for_numeric(&self, x: f64, tau: f64) -> Vec<(LabelId, Grade)> {
+        match self {
+            Self::Numeric(v) => v.fuzzify_pruned(x, tau),
+            Self::Categorical(_) => Vec::new(),
+        }
+    }
+
+    /// Maps a categorical value to descriptors (empty for numeric).
+    pub fn descriptors_for_text(&self, value: &str) -> Vec<(LabelId, Grade)> {
+        match self {
+            Self::Numeric(_) => Vec::new(),
+            Self::Categorical(t) => t.categorize(value),
+        }
+    }
+
+    /// Descriptor set for a numeric range predicate (`lo..=hi`).
+    pub fn labels_for_range(&self, lo: f64, hi: f64) -> DescriptorSet {
+        match self {
+            Self::Numeric(v) => v.labels_overlapping(lo, hi, 0.01),
+            Self::Categorical(_) => DescriptorSet::EMPTY,
+        }
+    }
+
+    /// The numeric support interval covered by a descriptor set: the
+    /// union of the labels' supports (`None` for categorical attributes
+    /// or empty sets). Lets answer renderers turn `bmi = {underweight,
+    /// normal}` back into a concrete range like `[0, 27]`.
+    pub fn support_of_set(&self, set: DescriptorSet) -> Option<(f64, f64)> {
+        match self {
+            Self::Numeric(var) => {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for l in set.iter() {
+                    let term = var.terms().get(l.index())?;
+                    let (a, b) = term.mf.support();
+                    lo = lo.min(a);
+                    hi = hi.max(b);
+                }
+                (lo <= hi).then_some((lo, hi))
+            }
+            Self::Categorical(_) => None,
+        }
+    }
+
+    /// Descriptor set for an equality predicate on a label/term name,
+    /// expanded down the taxonomy for categorical attributes so that
+    /// querying an inner term also matches its specializations.
+    pub fn labels_for_term(&self, term: &str) -> Result<DescriptorSet, FuzzyError> {
+        let id = self.label_id(term).ok_or_else(|| FuzzyError::UnknownLabel {
+            attribute: self.name().to_string(),
+            label: term.to_string(),
+        })?;
+        Ok(match self {
+            Self::Numeric(_) => DescriptorSet::singleton(id),
+            Self::Categorical(t) => t.expand_down(DescriptorSet::singleton(id)),
+        })
+    }
+}
+
+/// The Background Knowledge: an ordered list of attribute vocabularies.
+///
+/// Attribute order is significant — it defines the attribute indices used
+/// by grid cells and summary intents, so all peers sharing a CBK agree on
+/// it (that is precisely what "common" buys the protocol).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundKnowledge {
+    name: String,
+    attributes: Vec<AttributeVocabulary>,
+    /// Mapping-service pruning threshold τ (see
+    /// [`LinguisticVariable::fuzzify_pruned`]). Default 0.2.
+    pub tau: f64,
+}
+
+impl BackgroundKnowledge {
+    /// Creates an empty BK.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), attributes: Vec::new(), tau: 0.2 }
+    }
+
+    /// The BK's name (e.g. "medical-cbk-v1"); peers must agree on it.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an attribute vocabulary; order of insertion = attribute index.
+    pub fn push_attribute(&mut self, vocab: AttributeVocabulary) -> Result<usize, FuzzyError> {
+        if self.attributes.iter().any(|a| a.name() == vocab.name()) {
+            return Err(FuzzyError::DuplicateLabel {
+                attribute: vocab.name().to_string(),
+                label: "<attribute>".to_string(),
+            });
+        }
+        self.attributes.push(vocab);
+        Ok(self.attributes.len() - 1)
+    }
+
+    /// Number of summarized attributes (the dimension `n` of the space
+    /// `E = ⟨A1..An⟩` in Definition 1).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The vocabularies in attribute-index order.
+    pub fn attributes(&self) -> &[AttributeVocabulary] {
+        &self.attributes
+    }
+
+    /// Vocabulary by attribute name.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeVocabulary> {
+        self.attributes.iter().find(|a| a.name() == name)
+    }
+
+    /// Attribute index by name.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name() == name)
+    }
+
+    /// Vocabulary by index.
+    pub fn attribute_at(&self, idx: usize) -> Option<&AttributeVocabulary> {
+        self.attributes.get(idx)
+    }
+
+    /// Upper bound on the number of distinct grid cells this BK can
+    /// produce: the product of per-attribute label counts. §6.1.1 uses
+    /// this to argue summary storage is bounded ("a maximum number of
+    /// leaves that cover all the possible combinations of the BK
+    /// descriptors").
+    pub fn max_cells(&self) -> u128 {
+        self.attributes.iter().map(|a| a.label_count() as u128).product()
+    }
+
+    /// The paper's running medical CBK:
+    ///
+    /// * `age`: `young / adult / old` with Figure 2's crossings
+    ///   (`20 ↦ {0.7/young, 0.3/adult}`),
+    /// * `sex`: `female / male`,
+    /// * `bmi`: `underweight / normal / overweight` with the §3.2.1 cores
+    ///   (underweight ⊇ [15, 17.5] at grade 1, normal ⊇ [19.5, 24]),
+    /// * `disease`: a small SNOMED-shaped taxonomy containing the diseases
+    ///   of Table 1 (anorexia, malaria) among others.
+    pub fn medical_cbk() -> Self {
+        let mut bk = Self::new("medical-cbk-v1");
+        bk.push_attribute(AttributeVocabulary::Numeric(
+            FuzzyPartition::from_cores(
+                "age",
+                (0.0, 120.0),
+                &[("young", 0.0, 17.0), ("adult", 27.0, 55.0), ("old", 65.0, 120.0)],
+            )
+            .expect("static partition"),
+        ))
+        .expect("fresh attr");
+        bk.push_attribute(AttributeVocabulary::Categorical(
+            Taxonomy::flat("sex", "any_sex", &["female", "male"]).expect("static taxonomy"),
+        ))
+        .expect("fresh attr");
+        bk.push_attribute(AttributeVocabulary::Numeric(
+            FuzzyPartition::from_cores(
+                "bmi",
+                (0.0, 60.0),
+                &[
+                    ("underweight", 0.0, 17.5),
+                    ("normal", 19.5, 24.0),
+                    ("overweight", 27.0, 60.0),
+                ],
+            )
+            .expect("static partition"),
+        ))
+        .expect("fresh attr");
+        let mut disease = Taxonomy::new("disease", "any_disease");
+        let infectious = disease.add_child(disease.root(), "infectious").expect("static");
+        disease.add_child(infectious, "malaria").expect("static");
+        disease.add_child(infectious, "tuberculosis").expect("static");
+        disease.add_child(infectious, "influenza").expect("static");
+        let eating = disease.add_child(disease.root(), "eating_disorder").expect("static");
+        disease.add_child(eating, "anorexia").expect("static");
+        disease.add_child(eating, "bulimia").expect("static");
+        let chronic = disease.add_child(disease.root(), "chronic").expect("static");
+        disease.add_child(chronic, "diabetes").expect("static");
+        disease.add_child(chronic, "hypertension").expect("static");
+        disease.add_child(chronic, "asthma").expect("static");
+        bk.push_attribute(AttributeVocabulary::Categorical(disease)).expect("fresh attr");
+        bk
+    }
+
+    /// A synthetic CBK with `arity` numeric attributes of `labels` labels
+    /// each — the knob benchmarks turn to grow the grid (K cells) without
+    /// touching the engine. Granularity drives cell count, as §3.2.3 notes.
+    pub fn synthetic(arity: usize, labels: usize) -> Result<Self, FuzzyError> {
+        let mut bk = Self::new(format!("synthetic-{arity}x{labels}"));
+        for i in 0..arity {
+            bk.push_attribute(AttributeVocabulary::Numeric(FuzzyPartition::uniform(
+                format!("attr{i}"),
+                (0.0, 100.0),
+                "v",
+                labels,
+                0.6,
+            )?))?;
+        }
+        Ok(bk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medical_cbk_layout() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        assert_eq!(bk.arity(), 4);
+        assert_eq!(bk.attribute_index("age"), Some(0));
+        assert_eq!(bk.attribute_index("sex"), Some(1));
+        assert_eq!(bk.attribute_index("bmi"), Some(2));
+        assert_eq!(bk.attribute_index("disease"), Some(3));
+        assert!(bk.attribute("nope").is_none());
+    }
+
+    #[test]
+    fn figure2_grades_via_bk() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let age = bk.attribute("age").unwrap();
+        let pairs = age.fuzzify_numeric(20.0);
+        assert_eq!(pairs.len(), 2);
+        assert!((pairs[0].1 - 0.7).abs() < 1e-12, "young 0.7");
+        assert!((pairs[1].1 - 0.3).abs() < 1e-12, "adult 0.3");
+    }
+
+    #[test]
+    fn bmi_cores_match_section_321() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let bmi = bk.attribute("bmi").unwrap();
+        // "underweight perfectly matches (with degree 1) range [15, 17.5]"
+        for x in [15.0, 16.5, 17.0, 17.5] {
+            let best = bmi.descriptors_for_numeric(x, 0.2);
+            assert_eq!(bmi.label_name(best[0].0).unwrap(), "underweight");
+            assert!((best[0].1 - 1.0).abs() < 1e-9, "bmi {x}");
+        }
+        // "normal perfectly matches range [19.5, 24]"
+        for x in [19.5, 20.0, 24.0] {
+            let best = bmi.descriptors_for_numeric(x, 0.2);
+            assert_eq!(bmi.label_name(best[0].0).unwrap(), "normal");
+            assert!((best[0].1 - 1.0).abs() < 1e-9, "bmi {x}");
+        }
+    }
+
+    #[test]
+    fn disease_terms_of_table1_exist() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let d = bk.attribute("disease").unwrap();
+        assert!(d.label_id("anorexia").is_some());
+        assert!(d.label_id("malaria").is_some());
+        let pairs = d.descriptors_for_text("malaria");
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].1, 1.0);
+    }
+
+    #[test]
+    fn query_reformulation_helpers() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        // §5.1: BMI < 19 → {underweight, normal}
+        let bmi = bk.attribute("bmi").unwrap();
+        let set = bmi.labels_for_range(0.0, 19.0);
+        assert_eq!(set.len(), 2);
+        // Inner taxonomy term expands to its leaves.
+        let disease = bk.attribute("disease").unwrap();
+        let inf = disease.labels_for_term("infectious").unwrap();
+        assert_eq!(inf.len(), 4); // infectious + malaria + tuberculosis + influenza
+        assert!(disease.labels_for_term("gout").is_err());
+    }
+
+    #[test]
+    fn support_of_set_unions_label_supports() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let bmi = bk.attribute("bmi").unwrap();
+        let set = DescriptorSet::from_labels([
+            bmi.label_id("underweight").unwrap(),
+            bmi.label_id("normal").unwrap(),
+        ]);
+        let (lo, hi) = bmi.support_of_set(set).unwrap();
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 27.0, "normal's support ends at overweight's core start");
+        assert!(bmi.support_of_set(DescriptorSet::EMPTY).is_none());
+        let sex = bk.attribute("sex").unwrap();
+        assert!(sex.support_of_set(DescriptorSet::all(2)).is_none());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut bk = BackgroundKnowledge::medical_cbk();
+        let dup = AttributeVocabulary::Categorical(
+            Taxonomy::flat("sex", "any", &["x"]).unwrap(),
+        );
+        assert!(bk.push_attribute(dup).is_err());
+    }
+
+    #[test]
+    fn max_cells_product() {
+        let bk = BackgroundKnowledge::synthetic(3, 5).unwrap();
+        assert_eq!(bk.max_cells(), 125);
+        let medical = BackgroundKnowledge::medical_cbk();
+        // 3 (age) * 3 (sex taxonomy) * 3 (bmi) * 12 (disease taxonomy)
+        assert_eq!(medical.max_cells(), 3 * 3 * 3 * 12);
+    }
+
+    #[test]
+    fn synthetic_bk_partitions_validate() {
+        let bk = BackgroundKnowledge::synthetic(2, 7).unwrap();
+        for attr in bk.attributes() {
+            if let AttributeVocabulary::Numeric(v) = attr {
+                crate::partition::FuzzyPartition::validate(v, 512, 1e-9).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_via_tokens() {
+        // serde derive is exercised through a lossless clone through the
+        // `serde_test`-free route: Debug equality after a serialize +
+        // deserialize through a serde-aware in-memory format would need an
+        // extra dependency, so assert the derives exist by checking trait
+        // bounds instead.
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<BackgroundKnowledge>();
+        assert_serde::<AttributeVocabulary>();
+    }
+}

@@ -1,0 +1,244 @@
+//! Interned descriptors and compact descriptor sets.
+//!
+//! Summary intents, grid cells and query clauses all manipulate *sets of
+//! labels of one attribute*. Vocabularies are small (the paper's BK has a
+//! handful of labels per attribute; even SNOMED-style taxonomies are cut to
+//! a working vocabulary), so we intern each label to a [`LabelId`] (`u16`)
+//! and represent a set as a 128-bit bitset ([`DescriptorSet`]). Set algebra
+//! (the hot path of valuation during query routing) becomes single-word
+//! bit operations.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of labels a single attribute vocabulary may hold.
+///
+/// 128 labels is far beyond the granularity the paper uses (3–7 labels per
+/// attribute) while keeping [`DescriptorSet`] `Copy` and branch-free.
+pub const MAX_LABELS: usize = 128;
+
+/// Index of a label inside one attribute's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LabelId(pub u16);
+
+impl LabelId {
+    /// The label index as a `usize`, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A membership grade in `[0, 1]`.
+pub type Grade = f64;
+
+/// A set of labels of a single attribute, as a 128-bit bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DescriptorSet(pub u128);
+
+impl DescriptorSet {
+    /// The empty set.
+    pub const EMPTY: Self = Self(0);
+
+    /// Builds a set holding a single label.
+    #[inline]
+    pub fn singleton(label: LabelId) -> Self {
+        debug_assert!(label.index() < MAX_LABELS);
+        Self(1u128 << label.index())
+    }
+
+    /// Builds a set from an iterator of labels.
+    pub fn from_labels<I: IntoIterator<Item = LabelId>>(labels: I) -> Self {
+        let mut s = Self::EMPTY;
+        for l in labels {
+            s.insert(l);
+        }
+        s
+    }
+
+    /// Builds the full set over the first `n` labels.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= MAX_LABELS, "vocabulary too large");
+        if n == MAX_LABELS {
+            Self(u128::MAX)
+        } else {
+            Self((1u128 << n) - 1)
+        }
+    }
+
+    /// Inserts a label.
+    #[inline]
+    pub fn insert(&mut self, label: LabelId) {
+        debug_assert!(label.index() < MAX_LABELS);
+        self.0 |= 1u128 << label.index();
+    }
+
+    /// Removes a label.
+    #[inline]
+    pub fn remove(&mut self, label: LabelId) {
+        self.0 &= !(1u128 << label.index());
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, label: LabelId) -> bool {
+        self.0 & (1u128 << label.index()) != 0
+    }
+
+    /// Number of labels in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no label is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: Self) -> Self {
+        Self(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn difference(self, other: Self) -> Self {
+        Self(self.0 & !other.0)
+    }
+
+    /// True when every label of `self` is in `other`.
+    #[inline]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True when the two sets share at least one label.
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Number of labels present in `self` but not in `other` plus the
+    /// converse: the symmetric-difference cardinality. Used by the
+    /// maintenance layer to quantify descriptor appearance/disappearance.
+    #[inline]
+    pub fn symmetric_distance(&self, other: &Self) -> usize {
+        (self.0 ^ other.0).count_ones() as usize
+    }
+
+    /// Iterates over the labels in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = LabelId> + '_ {
+        let bits = self.0;
+        (0..MAX_LABELS as u16).filter_map(move |i| {
+            if bits & (1u128 << i) != 0 {
+                Some(LabelId(i))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl FromIterator<LabelId> for DescriptorSet {
+    fn from_iter<T: IntoIterator<Item = LabelId>>(iter: T) -> Self {
+        Self::from_labels(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singleton_and_contains() {
+        let s = DescriptorSet::singleton(LabelId(3));
+        assert!(s.contains(LabelId(3)));
+        assert!(!s.contains(LabelId(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = DescriptorSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(LabelId(0));
+        s.insert(LabelId(127));
+        assert_eq!(s.len(), 2);
+        s.remove(LabelId(0));
+        assert!(!s.contains(LabelId(0)));
+        assert!(s.contains(LabelId(127)));
+    }
+
+    #[test]
+    fn all_covers_prefix() {
+        let s = DescriptorSet::all(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(LabelId(4)));
+        assert!(!s.contains(LabelId(5)));
+        assert_eq!(DescriptorSet::all(MAX_LABELS).len(), MAX_LABELS);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = DescriptorSet::from_labels([LabelId(0), LabelId(1), LabelId(2)]);
+        let b = DescriptorSet::from_labels([LabelId(2), LabelId(3)]);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert_eq!(a.difference(b).len(), 2);
+        assert!(a.intersects(&b));
+        assert!(!a.is_subset_of(&b));
+        assert!(DescriptorSet::singleton(LabelId(2)).is_subset_of(&a));
+        assert_eq!(a.symmetric_distance(&b), 3);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let s = DescriptorSet::from_labels([LabelId(9), LabelId(1), LabelId(64)]);
+        let labels: Vec<u16> = s.iter().map(|l| l.0).collect();
+        assert_eq!(labels, vec![1, 9, 64]);
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_superset(a in any::<u128>(), b in any::<u128>()) {
+            let (a, b) = (DescriptorSet(a), DescriptorSet(b));
+            prop_assert!(a.is_subset_of(&a.union(b)));
+            prop_assert!(b.is_subset_of(&a.union(b)));
+        }
+
+        #[test]
+        fn intersection_is_subset(a in any::<u128>(), b in any::<u128>()) {
+            let (a, b) = (DescriptorSet(a), DescriptorSet(b));
+            prop_assert!(a.intersection(b).is_subset_of(&a));
+            prop_assert!(a.intersection(b).is_subset_of(&b));
+        }
+
+        #[test]
+        fn demorgan_cardinality(a in any::<u128>(), b in any::<u128>()) {
+            let (a, b) = (DescriptorSet(a), DescriptorSet(b));
+            // |A ∪ B| = |A| + |B| − |A ∩ B|
+            prop_assert_eq!(
+                a.union(b).len(),
+                a.len() + b.len() - a.intersection(b).len()
+            );
+        }
+
+        #[test]
+        fn from_iter_roundtrip(labels in proptest::collection::btree_set(0u16..128, 0..40)) {
+            let s: DescriptorSet = labels.iter().copied().map(LabelId).collect();
+            prop_assert_eq!(s.len(), labels.len());
+            let back: Vec<u16> = s.iter().map(|l| l.0).collect();
+            let want: Vec<u16> = labels.into_iter().collect();
+            prop_assert_eq!(back, want);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for background-knowledge construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating fuzzy vocabularies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzyError {
+    /// A membership function was given parameters that do not describe a
+    /// valid shape (e.g. a trapezoid with `a > b`).
+    InvalidShape(String),
+    /// A vocabulary exceeded [`crate::descriptor::MAX_LABELS`] labels.
+    TooManyLabels {
+        /// The offending attribute.
+        attribute: String,
+        /// How many labels were supplied.
+        got: usize,
+    },
+    /// Two labels in the same vocabulary share a name.
+    DuplicateLabel {
+        /// The offending attribute.
+        attribute: String,
+        /// The repeated label.
+        label: String,
+    },
+    /// A partition failed Ruspini validation (memberships do not sum to 1).
+    NotRuspini {
+        /// The offending attribute.
+        attribute: String,
+        /// Domain point where the violation was found.
+        at: f64,
+        /// The membership sum observed there.
+        sum: f64,
+    },
+    /// A partition leaves part of the domain uncovered.
+    UncoveredDomain {
+        /// The offending attribute.
+        attribute: String,
+        /// Uncovered domain point.
+        at: f64,
+    },
+    /// An attribute name was not found in the background knowledge.
+    UnknownAttribute(String),
+    /// A label name was not found in an attribute vocabulary.
+    UnknownLabel {
+        /// The attribute whose vocabulary was searched.
+        attribute: String,
+        /// The missing label.
+        label: String,
+    },
+    /// A taxonomy edge refers to a missing node or would create a cycle.
+    BadTaxonomy(String),
+}
+
+impl fmt::Display for FuzzyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzyError::InvalidShape(msg) => write!(f, "invalid membership shape: {msg}"),
+            FuzzyError::TooManyLabels { attribute, got } => write!(
+                f,
+                "vocabulary for `{attribute}` has {got} labels, max is {}",
+                crate::descriptor::MAX_LABELS
+            ),
+            FuzzyError::DuplicateLabel { attribute, label } => {
+                write!(f, "duplicate label `{label}` in vocabulary for `{attribute}`")
+            }
+            FuzzyError::NotRuspini { attribute, at, sum } => write!(
+                f,
+                "partition on `{attribute}` is not Ruspini: memberships at {at} sum to {sum}"
+            ),
+            FuzzyError::UncoveredDomain { attribute, at } => {
+                write!(f, "partition on `{attribute}` does not cover domain point {at}")
+            }
+            FuzzyError::UnknownAttribute(name) => {
+                write!(f, "attribute `{name}` not found in background knowledge")
+            }
+            FuzzyError::UnknownLabel { attribute, label } => {
+                write!(f, "label `{label}` not found in vocabulary for `{attribute}`")
+            }
+            FuzzyError::BadTaxonomy(msg) => write!(f, "bad taxonomy: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FuzzyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = FuzzyError::UnknownAttribute("bmi".into());
+        assert!(err.to_string().contains("bmi"));
+        let err = FuzzyError::NotRuspini { attribute: "age".into(), at: 20.0, sum: 1.4 };
+        let s = err.to_string();
+        assert!(s.contains("age") && s.contains("1.4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FuzzyError>();
+    }
+}

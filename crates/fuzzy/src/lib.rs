@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Fuzzy-set substrate for the *Summary Management in P2P Systems* (EDBT 2008)
+//! reproduction.
+//!
+//! The SaintEtiQ summarization engine (crate `saintetiq`) relies on Zadeh's
+//! fuzzy set theory to rewrite raw database values into *linguistic
+//! descriptors* ("young", "underweight", ...). This crate provides that
+//! machinery from scratch:
+//!
+//! * [`membership`] — membership functions (trapezoidal, triangular,
+//!   crisp, singleton) with support/core/α-cut queries;
+//! * [`linguistic`] — linguistic variables: a named numeric domain carrying
+//!   a list of labelled membership functions, able to *fuzzify* a value
+//!   into `{grade/label}` pairs, e.g. `20 years → {0.7/young, 0.3/adult}`;
+//! * [`partition`] — fuzzy (Ruspini) partitions and validated builders;
+//! * [`taxonomy`] — hierarchical categorical vocabularies (the shape of
+//!   SNOMED CT, which the paper cites as its Common Background Knowledge
+//!   for medical collaborations);
+//! * [`descriptor`] — compact interned descriptors and per-attribute
+//!   descriptor bitsets, the currency of summary intents;
+//! * [`bk`] — the Background Knowledge itself: one vocabulary per summarized
+//!   attribute, with the paper's Figure 2 medical CBK as a ready-made preset.
+//!
+//! # Quick example
+//!
+//! ```
+//! use fuzzy::BackgroundKnowledge;
+//!
+//! let bk = BackgroundKnowledge::medical_cbk();
+//! let age = bk.attribute("age").unwrap();
+//! let pairs = age.fuzzify_numeric(20.0);
+//! // The paper's Figure 2: 20 years ↦ {0.7/young, 0.3/adult}
+//! assert_eq!(pairs.len(), 2);
+//! ```
+
+pub mod bk;
+pub mod descriptor;
+pub mod error;
+pub mod linguistic;
+pub mod membership;
+pub mod partition;
+pub mod taxonomy;
+
+pub use bk::{AttributeVocabulary, BackgroundKnowledge};
+pub use descriptor::{DescriptorSet, Grade, LabelId};
+pub use error::FuzzyError;
+pub use linguistic::LinguisticVariable;
+pub use membership::MembershipFunction;
+pub use partition::FuzzyPartition;
+pub use taxonomy::Taxonomy;

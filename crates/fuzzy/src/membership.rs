@@ -1,0 +1,312 @@
+//! Membership functions over numeric domains.
+//!
+//! A membership function `μ : ℝ → [0, 1]` tells how well a raw value fits a
+//! linguistic label (Zadeh 1965). The paper's Figure 2 uses trapezoidal
+//! functions (`young`, `adult`, `old` over *age*); we also provide the
+//! shapes needed by tests, generators and user-defined vocabularies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FuzzyError;
+
+/// A parametric membership function.
+///
+/// All shapes guarantee `0.0 <= eval(x) <= 1.0` for every finite `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MembershipFunction {
+    /// Trapezoid `(a, b, c, d)`: ramps up on `[a, b]`, is 1 on `[b, c]`,
+    /// ramps down on `[c, d]`. Degenerate ramps (`a == b` / `c == d`) give
+    /// crisp shoulders, which is how unbounded edge labels are modelled.
+    Trapezoidal {
+        /// Support start.
+        a: f64,
+        /// Core start.
+        b: f64,
+        /// Core end.
+        c: f64,
+        /// Support end.
+        d: f64,
+    },
+    /// Triangle `(a, b, c)`: 1 only at the peak `b`.
+    Triangular {
+        /// Support start.
+        a: f64,
+        /// Peak.
+        b: f64,
+        /// Support end.
+        c: f64,
+    },
+    /// Crisp interval `[lo, hi]`: membership 1 inside, 0 outside.
+    Crisp {
+        /// Interval start (inclusive).
+        lo: f64,
+        /// Interval end (inclusive).
+        hi: f64,
+    },
+    /// Singleton: membership 1 exactly at `at`, 0 elsewhere.
+    Singleton {
+        /// The single covered point.
+        at: f64,
+    },
+}
+
+impl MembershipFunction {
+    /// Builds a validated trapezoid. Requires `a <= b <= c <= d`.
+    pub fn trapezoid(a: f64, b: f64, c: f64, d: f64) -> Result<Self, FuzzyError> {
+        if a > b || b > c || c > d || !a.is_finite() || !d.is_finite() {
+            return Err(FuzzyError::InvalidShape(format!(
+                "trapezoid requires finite a<=b<=c<=d, got ({a}, {b}, {c}, {d})"
+            )));
+        }
+        Ok(Self::Trapezoidal { a, b, c, d })
+    }
+
+    /// Builds a validated triangle. Requires `a <= b <= c`.
+    pub fn triangle(a: f64, b: f64, c: f64) -> Result<Self, FuzzyError> {
+        if a > b || b > c || !a.is_finite() || !c.is_finite() {
+            return Err(FuzzyError::InvalidShape(format!(
+                "triangle requires finite a<=b<=c, got ({a}, {b}, {c})"
+            )));
+        }
+        Ok(Self::Triangular { a, b, c })
+    }
+
+    /// Builds a validated crisp interval. Requires `lo <= hi`.
+    pub fn crisp(lo: f64, hi: f64) -> Result<Self, FuzzyError> {
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) && lo != hi {
+            return Err(FuzzyError::InvalidShape(format!(
+                "crisp interval requires lo<=hi, got [{lo}, {hi}]"
+            )));
+        }
+        Ok(Self::Crisp { lo, hi })
+    }
+
+    /// Membership grade of `x`, always in `[0, 1]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let g = match *self {
+            Self::Trapezoidal { a, b, c, d } => {
+                if x < a || x > d {
+                    0.0
+                } else if x < b {
+                    // a <= x < b implies a < b, so the ramp is well defined.
+                    (x - a) / (b - a)
+                } else if x <= c {
+                    1.0
+                } else {
+                    (d - x) / (d - c)
+                }
+            }
+            Self::Triangular { a, b, c } => {
+                if x < a || x > c {
+                    0.0
+                } else if x < b {
+                    (x - a) / (b - a)
+                } else if x == b {
+                    1.0
+                } else {
+                    (c - x) / (c - b)
+                }
+            }
+            Self::Crisp { lo, hi } => {
+                if x >= lo && x <= hi {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Self::Singleton { at } => {
+                if x == at {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        g.clamp(0.0, 1.0)
+    }
+
+    /// The support: smallest closed interval outside which membership is 0.
+    pub fn support(&self) -> (f64, f64) {
+        match *self {
+            Self::Trapezoidal { a, d, .. } => (a, d),
+            Self::Triangular { a, c, .. } => (a, c),
+            Self::Crisp { lo, hi } => (lo, hi),
+            Self::Singleton { at } => (at, at),
+        }
+    }
+
+    /// The core: the interval where membership is exactly 1
+    /// (may be a single point).
+    pub fn core(&self) -> (f64, f64) {
+        match *self {
+            Self::Trapezoidal { b, c, .. } => (b, c),
+            Self::Triangular { b, .. } => (b, b),
+            Self::Crisp { lo, hi } => (lo, hi),
+            Self::Singleton { at } => (at, at),
+        }
+    }
+
+    /// The α-cut `{x | μ(x) >= alpha}` as a closed interval, or `None` when
+    /// the cut is empty. `alpha` must lie in `(0, 1]`.
+    pub fn alpha_cut(&self, alpha: f64) -> Option<(f64, f64)> {
+        if !(0.0..=1.0).contains(&alpha) || alpha == 0.0 {
+            return None;
+        }
+        match *self {
+            Self::Trapezoidal { a, b, c, d } => {
+                let lo = if a == b { a } else { a + alpha * (b - a) };
+                let hi = if c == d { d } else { d - alpha * (d - c) };
+                Some((lo, hi))
+            }
+            Self::Triangular { a, b, c } => {
+                let lo = if a == b { a } else { a + alpha * (b - a) };
+                let hi = if b == c { c } else { c - alpha * (c - b) };
+                Some((lo, hi))
+            }
+            Self::Crisp { lo, hi } => Some((lo, hi)),
+            Self::Singleton { at } => Some((at, at)),
+        }
+    }
+
+    /// True when the grade of `x` is exactly 1.
+    pub fn is_core(&self, x: f64) -> bool {
+        let (lo, hi) = self.core();
+        x >= lo && x <= hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn trapezoid_shape() {
+        // The paper's `young` label: full up to 17, fading out by 27.
+        let young = MembershipFunction::trapezoid(0.0, 0.0, 17.0, 27.0).unwrap();
+        assert_close(young.eval(10.0), 1.0);
+        assert_close(young.eval(17.0), 1.0);
+        assert_close(young.eval(20.0), 0.7); // Figure 2: 0.7/young at age 20
+        assert_close(young.eval(27.0), 0.0);
+        assert_close(young.eval(40.0), 0.0);
+    }
+
+    #[test]
+    fn adult_ramp_matches_figure2() {
+        let adult = MembershipFunction::trapezoid(17.0, 27.0, 55.0, 65.0).unwrap();
+        assert_close(adult.eval(20.0), 0.3); // Figure 2: 0.3/adult at age 20
+        assert_close(adult.eval(30.0), 1.0);
+        assert_close(adult.eval(65.0), 0.0);
+    }
+
+    #[test]
+    fn triangle_peak_and_edges() {
+        let t = MembershipFunction::triangle(0.0, 5.0, 10.0).unwrap();
+        assert_close(t.eval(0.0), 0.0);
+        assert_close(t.eval(5.0), 1.0);
+        assert_close(t.eval(7.5), 0.5);
+        assert_close(t.eval(10.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_triangle_is_singleton_like() {
+        let t = MembershipFunction::triangle(3.0, 3.0, 3.0).unwrap();
+        assert_close(t.eval(3.0), 1.0);
+        assert_close(t.eval(3.1), 0.0);
+    }
+
+    #[test]
+    fn crisp_interval() {
+        let c = MembershipFunction::crisp(1.0, 2.0).unwrap();
+        assert_close(c.eval(1.0), 1.0);
+        assert_close(c.eval(1.5), 1.0);
+        assert_close(c.eval(2.0), 1.0);
+        assert_close(c.eval(2.00001), 0.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = MembershipFunction::Singleton { at: 4.2 };
+        assert_close(s.eval(4.2), 1.0);
+        assert_close(s.eval(4.200001), 0.0);
+        assert_eq!(s.support(), (4.2, 4.2));
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        assert!(MembershipFunction::trapezoid(2.0, 1.0, 3.0, 4.0).is_err());
+        assert!(MembershipFunction::trapezoid(0.0, 1.0, 3.0, 2.0).is_err());
+        assert!(MembershipFunction::triangle(5.0, 1.0, 9.0).is_err());
+        assert!(MembershipFunction::crisp(2.0, 1.0).is_err());
+        assert!(MembershipFunction::trapezoid(f64::NAN, 1.0, 2.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn support_and_core() {
+        let t = MembershipFunction::trapezoid(1.0, 2.0, 3.0, 5.0).unwrap();
+        assert_eq!(t.support(), (1.0, 5.0));
+        assert_eq!(t.core(), (2.0, 3.0));
+        assert!(t.is_core(2.5));
+        assert!(!t.is_core(1.5));
+    }
+
+    #[test]
+    fn alpha_cut_trapezoid() {
+        let t = MembershipFunction::trapezoid(0.0, 10.0, 20.0, 30.0).unwrap();
+        let (lo, hi) = t.alpha_cut(0.5).unwrap();
+        assert_close(lo, 5.0);
+        assert_close(hi, 25.0);
+        let (lo, hi) = t.alpha_cut(1.0).unwrap();
+        assert_close(lo, 10.0);
+        assert_close(hi, 20.0);
+        assert!(t.alpha_cut(0.0).is_none());
+        assert!(t.alpha_cut(1.5).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn eval_always_in_unit_interval(
+            pts in proptest::collection::vec(-1e6..1e6f64, 4),
+            x in -2e6..2e6f64,
+        ) {
+            let mut p = pts.clone();
+            p.sort_by(|u, v| u.partial_cmp(v).unwrap());
+            let t = MembershipFunction::trapezoid(p[0], p[1], p[2], p[3]).unwrap();
+            let g = t.eval(x);
+            prop_assert!((0.0..=1.0).contains(&g));
+        }
+
+        #[test]
+        fn alpha_cuts_are_nested(
+            pts in proptest::collection::vec(-1e6..1e6f64, 4),
+            a1 in 0.01..0.99f64,
+            delta in 0.001..0.5f64,
+        ) {
+            let mut p = pts.clone();
+            p.sort_by(|u, v| u.partial_cmp(v).unwrap());
+            let t = MembershipFunction::trapezoid(p[0], p[1], p[2], p[3]).unwrap();
+            let a2 = (a1 + delta).min(1.0);
+            let (lo1, hi1) = t.alpha_cut(a1).unwrap();
+            let (lo2, hi2) = t.alpha_cut(a2).unwrap();
+            // Higher alpha => smaller (nested) cut.
+            prop_assert!(lo2 >= lo1 - 1e-9);
+            prop_assert!(hi2 <= hi1 + 1e-9);
+        }
+
+        #[test]
+        fn core_points_eval_to_one(
+            pts in proptest::collection::vec(-1e3..1e3f64, 4),
+        ) {
+            let mut p = pts.clone();
+            p.sort_by(|u, v| u.partial_cmp(v).unwrap());
+            let t = MembershipFunction::trapezoid(p[0], p[1], p[2], p[3]).unwrap();
+            let (b, c) = t.core();
+            let mid = (b + c) / 2.0;
+            prop_assert!((t.eval(mid) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Fuzzy partitions (Ruspini 1969, cited by the paper through Zadeh \[26\]).
+//!
+//! A *fuzzy partition* of a numeric domain is a family of membership
+//! functions whose grades sum to 1 everywhere. Ruspini partitions give the
+//! mapping service its key property: every raw value is fully accounted
+//! for across grid cells (tuple counts are conserved), and the "smooth
+//! transition between categories" the paper credits for avoiding threshold
+//! effects.
+
+use crate::error::FuzzyError;
+use crate::linguistic::{LinguisticVariable, Term};
+use crate::membership::MembershipFunction;
+
+/// Validated Ruspini partition builder for [`LinguisticVariable`]s.
+#[derive(Debug, Clone)]
+pub struct FuzzyPartition;
+
+impl FuzzyPartition {
+    /// Validates that `var` forms a Ruspini partition over its domain:
+    /// at every probe point the sum of grades is 1 (within `eps`).
+    ///
+    /// Probing uses a dense uniform grid (`samples` points) plus every
+    /// shape breakpoint, which catches all violations of piecewise-linear
+    /// families (the only shapes the builders produce).
+    pub fn validate(var: &LinguisticVariable, samples: usize, eps: f64) -> Result<(), FuzzyError> {
+        let (lo, hi) = var.domain();
+        let mut probes: Vec<f64> = Vec::with_capacity(samples + var.terms().len() * 4);
+        if samples > 1 {
+            let step = (hi - lo) / (samples as f64 - 1.0);
+            probes.extend((0..samples).map(|i| lo + step * i as f64));
+        }
+        for t in var.terms() {
+            let (a, d) = t.mf.support();
+            let (b, c) = t.mf.core();
+            for p in [a, b, c, d] {
+                if p >= lo && p <= hi {
+                    probes.push(p);
+                }
+            }
+        }
+        for &x in &probes {
+            let sum: f64 = var.terms().iter().map(|t| t.mf.eval(x)).sum();
+            if (sum - 1.0).abs() > eps {
+                return if sum < eps {
+                    Err(FuzzyError::UncoveredDomain { attribute: var.name().into(), at: x })
+                } else {
+                    Err(FuzzyError::NotRuspini { attribute: var.name().into(), at: x, sum })
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a Ruspini partition of trapezoids from *core intervals*.
+    ///
+    /// `cores` lists, per label, the interval over which membership is 1;
+    /// consecutive cores must be disjoint and ordered. Between core `i` and
+    /// core `i+1` the two trapezoids cross linearly, so grades always sum
+    /// to 1. The first label extends crisply to the domain minimum and the
+    /// last to the domain maximum.
+    ///
+    /// This is exactly how the paper's Figure 2 partitions are shaped:
+    /// `age: young [0,17], adult [27,55], old [65,120]` yields the
+    /// crossings that map age 20 to `{0.7/young, 0.3/adult}`.
+    pub fn from_cores(
+        name: impl Into<String>,
+        domain: (f64, f64),
+        cores: &[(&str, f64, f64)],
+    ) -> Result<LinguisticVariable, FuzzyError> {
+        let name = name.into();
+        if cores.is_empty() {
+            return Err(FuzzyError::InvalidShape(format!("partition `{name}` needs >=1 core")));
+        }
+        for w in cores.windows(2) {
+            if w[0].2 > w[1].1 {
+                return Err(FuzzyError::InvalidShape(format!(
+                    "cores of `{}` and `{}` overlap or are out of order",
+                    w[0].0, w[1].0
+                )));
+            }
+        }
+        let (dlo, dhi) = domain;
+        let mut terms = Vec::with_capacity(cores.len());
+        for (i, &(label, clo, chi)) in cores.iter().enumerate() {
+            let a = if i == 0 { dlo } else { cores[i - 1].2 };
+            let b = if i == 0 { dlo } else { clo };
+            let c = if i == cores.len() - 1 { dhi } else { chi };
+            let d = if i == cores.len() - 1 { dhi } else { cores[i + 1].1 };
+            terms.push(Term {
+                label: label.to_string(),
+                mf: MembershipFunction::trapezoid(a, b, c, d)?,
+            });
+        }
+        let var = LinguisticVariable::new(name, domain, terms)?;
+        Self::validate(&var, 256, 1e-9)?;
+        Ok(var)
+    }
+
+    /// Builds a uniform Ruspini partition of `n` labels named
+    /// `prefix_0 .. prefix_{n-1}`, with cores of width `core_frac` of each
+    /// band. Useful for synthetic BKs in benchmarks where only granularity
+    /// matters (the paper's §3.2.3: "a fine-grained and overlapping BK
+    /// will produce much more cells than a coarse and crisp one").
+    pub fn uniform(
+        name: impl Into<String>,
+        domain: (f64, f64),
+        prefix: &str,
+        n: usize,
+        core_frac: f64,
+    ) -> Result<LinguisticVariable, FuzzyError> {
+        if n == 0 {
+            return Err(FuzzyError::InvalidShape("uniform partition needs n >= 1".into()));
+        }
+        if !(0.0 < core_frac && core_frac <= 1.0) {
+            return Err(FuzzyError::InvalidShape(format!(
+                "core_frac must be in (0,1], got {core_frac}"
+            )));
+        }
+        let (lo, hi) = domain;
+        let band = (hi - lo) / n as f64;
+        let margin = band * (1.0 - core_frac) / 2.0;
+        let labels: Vec<String> = (0..n).map(|i| format!("{prefix}_{i}")).collect();
+        let cores: Vec<(&str, f64, f64)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let blo = lo + band * i as f64;
+                let bhi = blo + band;
+                (l.as_str(), blo + margin, bhi - margin)
+            })
+            .collect();
+        Self::from_cores(name, domain, &cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure2_age_partition_is_ruspini() {
+        let v = FuzzyPartition::from_cores(
+            "age",
+            (0.0, 120.0),
+            &[("young", 0.0, 17.0), ("adult", 27.0, 55.0), ("old", 65.0, 120.0)],
+        )
+        .unwrap();
+        FuzzyPartition::validate(&v, 1024, 1e-9).unwrap();
+        // Figure 2's crossing at age 20.
+        let pairs = v.fuzzify(20.0);
+        assert_eq!(pairs.len(), 2);
+        assert!((pairs[0].1 - 0.7).abs() < 1e-12);
+        assert!((pairs[1].1 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_core_partition_is_crisp_everywhere() {
+        let v =
+            FuzzyPartition::from_cores("flag", (0.0, 1.0), &[("always", 0.2, 0.8)]).unwrap();
+        assert_eq!(v.fuzzify(0.0).len(), 1);
+        assert!((v.fuzzify(0.99)[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_cores_rejected() {
+        let err = FuzzyPartition::from_cores(
+            "x",
+            (0.0, 10.0),
+            &[("a", 0.0, 5.0), ("b", 4.0, 10.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FuzzyError::InvalidShape(_)));
+    }
+
+    #[test]
+    fn validate_rejects_gap() {
+        // Hand-built variable with a hole in coverage.
+        let v = LinguisticVariable::new(
+            "holey",
+            (0.0, 10.0),
+            vec![
+                Term { label: "lo".into(), mf: MembershipFunction::crisp(0.0, 4.0).unwrap() },
+                Term { label: "hi".into(), mf: MembershipFunction::crisp(6.0, 10.0).unwrap() },
+            ],
+        )
+        .unwrap();
+        let err = FuzzyPartition::validate(&v, 512, 1e-9).unwrap_err();
+        assert!(matches!(err, FuzzyError::UncoveredDomain { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_over_coverage() {
+        let v = LinguisticVariable::new(
+            "fat",
+            (0.0, 10.0),
+            vec![
+                Term { label: "lo".into(), mf: MembershipFunction::crisp(0.0, 6.0).unwrap() },
+                Term { label: "hi".into(), mf: MembershipFunction::crisp(4.0, 10.0).unwrap() },
+            ],
+        )
+        .unwrap();
+        let err = FuzzyPartition::validate(&v, 512, 1e-9).unwrap_err();
+        assert!(matches!(err, FuzzyError::NotRuspini { .. }));
+    }
+
+    #[test]
+    fn uniform_partition_shapes() {
+        let v = FuzzyPartition::uniform("load", (0.0, 100.0), "band", 5, 0.5).unwrap();
+        assert_eq!(v.label_count(), 5);
+        FuzzyPartition::validate(&v, 2048, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn uniform_rejects_bad_params() {
+        assert!(FuzzyPartition::uniform("x", (0.0, 1.0), "b", 0, 0.5).is_err());
+        assert!(FuzzyPartition::uniform("x", (0.0, 1.0), "b", 3, 0.0).is_err());
+        assert!(FuzzyPartition::uniform("x", (0.0, 1.0), "b", 3, 1.5).is_err());
+    }
+
+    proptest! {
+        /// Any partition built from random ordered cores passes Ruspini
+        /// validation and conserves mass at random probe points.
+        #[test]
+        fn from_cores_always_ruspini(
+            breaks in proptest::collection::vec(0.0..1000.0f64, 6),
+            probe in 0.0..1000.0f64,
+        ) {
+            let mut b = breaks.clone();
+            b.sort_by(|u, v| u.partial_cmp(v).unwrap());
+            // Three cores: [b0,b1], [b2,b3], [b4,b5] over domain [0,1000].
+            let v = FuzzyPartition::from_cores(
+                "p",
+                (0.0, 1000.0),
+                &[("l0", b[0], b[1]), ("l1", b[2], b[3]), ("l2", b[4], b[5])],
+            ).unwrap();
+            let sum: f64 = v.terms().iter().map(|t| t.mf.eval(probe)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "mass {sum} at {probe}");
+        }
+
+        #[test]
+        fn uniform_always_ruspini(
+            n in 1usize..12,
+            core_frac in 0.05..1.0f64,
+            probe in 0.0..100.0f64,
+        ) {
+            let v = FuzzyPartition::uniform("u", (0.0, 100.0), "b", n, core_frac).unwrap();
+            let sum: f64 = v.terms().iter().map(|t| t.mf.eval(probe)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Lightweight measurement helpers for experiments: counters, ratio
+//! accumulators and bucketed time series.
+
+use crate::time::SimTime;
+
+/// An online mean/min/max accumulator for scalar observations.
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (None when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// A success/total ratio counter (hit rates, stale-answer fractions...).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ratio {
+    /// Numerator.
+    pub hits: u64,
+    /// Denominator.
+    pub total: u64,
+}
+
+impl Ratio {
+    /// Records one trial.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Adds counts in bulk.
+    pub fn add(&mut self, hits: u64, total: u64) {
+        self.hits += hits;
+        self.total += total;
+    }
+
+    /// The ratio (0 when empty).
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// A time series bucketed into fixed windows, for rate plots.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket: SimTime,
+    buckets: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    pub fn new(bucket: SimTime) -> Self {
+        assert!(bucket.0 > 0, "bucket width must be positive");
+        Self { bucket, buckets: Vec::new() }
+    }
+
+    /// Adds `value` at time `t`.
+    pub fn add(&mut self, t: SimTime, value: f64) {
+        let idx = (t.0 / self.bucket.0) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += value;
+    }
+
+    /// The bucketed values.
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Total across all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_moments() {
+        let mut a = Accumulator::new();
+        assert_eq!(a.mean(), None);
+        for x in [1.0, 2.0, 3.0] {
+            a.push(x);
+        }
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), Some(2.0));
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(3.0));
+        assert_eq!(a.sum(), 6.0);
+    }
+
+    #[test]
+    fn ratio_accounting() {
+        let mut r = Ratio::default();
+        assert_eq!(r.value(), 0.0);
+        r.record(true);
+        r.record(false);
+        r.record(true);
+        assert!((r.value() - 2.0 / 3.0).abs() < 1e-12);
+        r.add(7, 7);
+        assert_eq!(r.hits, 9);
+        assert_eq!(r.total, 10);
+    }
+
+    #[test]
+    fn time_series_bucketing() {
+        let mut ts = TimeSeries::new(SimTime::from_secs(10));
+        ts.add(SimTime::from_secs(1), 1.0);
+        ts.add(SimTime::from_secs(9), 1.0);
+        ts.add(SimTime::from_secs(10), 5.0);
+        ts.add(SimTime::from_secs(35), 2.0);
+        assert_eq!(ts.buckets(), &[2.0, 5.0, 0.0, 2.0]);
+        assert_eq!(ts.total(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_rejected() {
+        TimeSeries::new(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,229 @@
+//! Minimal CSV import/export for tables.
+//!
+//! Lets users feed their own datasets to the summarizer without extra
+//! dependencies. The dialect is deliberately simple: comma-separated,
+//! `"`-quoted fields with `""` escapes, a mandatory header naming the
+//! schema attributes, values parsed against the declared column types.
+//! I/O is buffered throughout (one syscall per block, not per row).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::error::RelationError;
+use crate::schema::{AttrType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Splits one CSV record, honoring quotes. Returns the raw fields.
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            other => cur.push(other),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Quotes a field if needed.
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn parse_value(raw: &str, ty: AttrType) -> Result<Value, RelationError> {
+    let raw = raw.trim();
+    if raw.is_empty() || raw.eq_ignore_ascii_case("null") {
+        return Ok(Value::Null);
+    }
+    let bad = |expected: &'static str| RelationError::TypeMismatch {
+        attribute: String::new(),
+        expected,
+        got: "text",
+    };
+    Ok(match ty {
+        AttrType::Int => Value::Int(raw.parse().map_err(|_| bad("int"))?),
+        AttrType::Float => Value::Float(raw.parse().map_err(|_| bad("float"))?),
+        AttrType::Text => Value::text(raw),
+        AttrType::Bool => Value::Bool(match raw.to_ascii_lowercase().as_str() {
+            "true" | "1" | "yes" => true,
+            "false" | "0" | "no" => false,
+            _ => return Err(bad("bool")),
+        }),
+    })
+}
+
+/// Reads a table from CSV. The header must name exactly the schema's
+/// attributes, in order.
+pub fn read_csv<R: Read>(reader: R, schema: Schema) -> Result<Table, RelationError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .transpose()
+        .map_err(|_| RelationError::UnknownAttribute("<io error>".into()))?
+        .ok_or_else(|| RelationError::UnknownAttribute("<empty file>".into()))?;
+    let names = split_record(&header);
+    if names.len() != schema.arity() {
+        return Err(RelationError::ArityMismatch {
+            expected: schema.arity(),
+            got: names.len(),
+        });
+    }
+    for (want, got) in schema.attributes().iter().zip(&names) {
+        if want.name != got.trim() {
+            return Err(RelationError::UnknownAttribute(got.trim().to_string()));
+        }
+    }
+    let mut table = Table::new(schema);
+    for line in lines {
+        let line = line.map_err(|_| RelationError::UnknownAttribute("<io error>".into()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_record(&line);
+        if fields.len() != table.schema().arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: table.schema().arity(),
+                got: fields.len(),
+            });
+        }
+        let row: Vec<Value> = fields
+            .iter()
+            .zip(table.schema().attributes().to_vec())
+            .map(|(raw, attr)| {
+                parse_value(raw, attr.ty).map_err(|e| match e {
+                    RelationError::TypeMismatch { expected, got, .. } => {
+                        RelationError::TypeMismatch { attribute: attr.name.clone(), expected, got }
+                    }
+                    other => other,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        table.insert(row)?;
+    }
+    table.drain_changes(); // a bulk load is not "modification"
+    Ok(table)
+}
+
+/// Writes a table as CSV (header + rows, buffered).
+pub fn write_csv<W: Write>(table: &Table, writer: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    let header: Vec<String> =
+        table.schema().attributes().iter().map(|a| quote(&a.name)).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for (_, row) in table.iter() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                other => quote(&other.to_string()),
+            })
+            .collect();
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_patient_table() {
+        let table = Table::patient_table1();
+        let mut buf = Vec::new();
+        write_csv(&table, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("age,sex,bmi,disease\n"));
+        assert!(text.contains("15,female,17,anorexia"));
+
+        let back = read_csv(&buf[..], Schema::patient()).unwrap();
+        assert_eq!(back.len(), 3);
+        let rows = back.tuples();
+        assert_eq!(rows[0].values[0], Value::Int(15));
+        assert_eq!(rows[1].values[3], Value::text("malaria"));
+        assert_eq!(back.pending_changes(), 0, "bulk load drains its feed");
+    }
+
+    #[test]
+    fn quoting_and_escapes() {
+        assert_eq!(split_record("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_record(r#""a,b",c"#), vec!["a,b", "c"]);
+        assert_eq!(split_record(r#""he said ""hi""",x"#), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn nulls_and_case_insensitive_bools() {
+        let schema = Schema::new(vec![
+            crate::schema::Attribute::new("x", AttrType::Int),
+            crate::schema::Attribute::new("ok", AttrType::Bool),
+        ])
+        .unwrap();
+        let csv = "x,ok\n1,true\n,FALSE\nnull,yes\n";
+        let t = read_csv(csv.as_bytes(), schema).unwrap();
+        let rows = t.tuples();
+        assert_eq!(rows[0].values[1], Value::Bool(true));
+        assert!(rows[1].values[0].is_null());
+        assert!(rows[2].values[0].is_null());
+        assert_eq!(rows[2].values[1], Value::Bool(true));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let csv = "age,sex\n1,f\n";
+        assert!(matches!(
+            read_csv(csv.as_bytes(), Schema::patient()),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+        let csv = "age,sex,weight,disease\n";
+        assert!(matches!(
+            read_csv(csv.as_bytes(), Schema::patient()),
+            Err(RelationError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn bad_values_carry_attribute_name() {
+        let csv = "age,sex,bmi,disease\nnot_a_number,f,20.0,x\n";
+        match read_csv(csv.as_bytes(), Schema::patient()) {
+            Err(RelationError::TypeMismatch { attribute, .. }) => assert_eq!(attribute, "age"),
+            other => panic!("expected type mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "age,sex,bmi,disease\n1,f\n";
+        assert!(matches!(
+            read_csv(csv.as_bytes(), Schema::patient()),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_lines_skipped_empty_file_rejected() {
+        let csv = "age,sex,bmi,disease\n\n15,female,17.0,anorexia\n\n";
+        let t = read_csv(csv.as_bytes(), Schema::patient()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(read_csv(&b""[..], Schema::patient()).is_err());
+    }
+}

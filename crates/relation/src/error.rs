@@ -1,0 +1,70 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by schema validation, table mutation and query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationError {
+    /// An attribute name appears twice in a schema.
+    DuplicateAttribute(String),
+    /// A referenced attribute does not exist in the schema.
+    UnknownAttribute(String),
+    /// A tuple's arity does not match the schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Supplied row arity.
+        got: usize,
+    },
+    /// A value's type does not match the attribute's declared type.
+    TypeMismatch {
+        /// The attribute whose type was violated.
+        attribute: String,
+        /// Declared type name.
+        expected: &'static str,
+        /// Supplied value's type name.
+        got: &'static str,
+    },
+    /// A tuple id was not found in the table.
+    UnknownTuple(u64),
+    /// A predicate compares incompatible types.
+    IncomparableValues {
+        /// Left operand type.
+        left: &'static str,
+        /// Right operand type.
+        right: &'static str,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
+            RelationError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected}")
+            }
+            RelationError::TypeMismatch { attribute, expected, got } => {
+                write!(f, "attribute `{attribute}` expects {expected}, got {got}")
+            }
+            RelationError::UnknownTuple(id) => write!(f, "tuple {id} not found"),
+            RelationError::IncomparableValues { left, right } => {
+                write!(f, "cannot compare {left} with {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = RelationError::TypeMismatch { attribute: "age".into(), expected: "int", got: "text" };
+        let s = e.to_string();
+        assert!(s.contains("age") && s.contains("int") && s.contains("text"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Selection predicates.
+//!
+//! The paper routes conjunctive selection queries (§5.1). A [`Predicate`]
+//! is one comparison against a constant; conjunctions live in
+//! [`crate::query::SelectQuery`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RelationError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// SQL spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+/// One comparison of an attribute against a constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Attribute name.
+    pub attribute: String,
+    /// Operator.
+    pub op: CompareOp,
+    /// Right-hand constant.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Convenience constructor.
+    pub fn new(attribute: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
+        Self { attribute: attribute.into(), op, value: value.into() }
+    }
+
+    /// Shorthand for an equality predicate.
+    pub fn eq(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self::new(attribute, CompareOp::Eq, value)
+    }
+
+    /// Shorthand for a `<` predicate.
+    pub fn lt(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self::new(attribute, CompareOp::Lt, value)
+    }
+
+    /// Evaluates the predicate on a row, given the schema for attribute
+    /// resolution. NULLs and incomparable values make the predicate false
+    /// (SQL "unknown" collapses to false under a WHERE clause).
+    pub fn matches(&self, schema: &Schema, row: &[Value]) -> Result<bool, RelationError> {
+        let idx = schema
+            .index_of(&self.attribute)
+            .ok_or_else(|| RelationError::UnknownAttribute(self.attribute.clone()))?;
+        let cell = &row[idx];
+        if cell.is_null() || self.value.is_null() {
+            return Ok(false);
+        }
+        let ord = match cell.compare(&self.value) {
+            Ok(o) => o,
+            Err(_) => return Ok(false),
+        };
+        use std::cmp::Ordering::*;
+        Ok(match self.op {
+            CompareOp::Eq => ord == Equal,
+            CompareOp::Ne => ord != Equal,
+            CompareOp::Lt => ord == Less,
+            CompareOp::Le => ord != Greater,
+            CompareOp::Gt => ord == Greater,
+            CompareOp::Ge => ord != Less,
+        })
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.attribute, self.op.symbol(), self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    #[test]
+    fn paper_predicates_on_table1() {
+        // Q: sex = 'female' AND bmi < 19 AND disease = 'anorexia' (§5.1)
+        let t = Table::patient_table1();
+        let s = t.schema().clone();
+        let sex = Predicate::eq("sex", "female");
+        let bmi = Predicate::lt("bmi", 19.0);
+        let disease = Predicate::eq("disease", "anorexia");
+        let hits: Vec<u64> = t
+            .iter()
+            .filter(|(_, row)| {
+                sex.matches(&s, row).unwrap()
+                    && bmi.matches(&s, row).unwrap()
+                    && disease.matches(&s, row).unwrap()
+            })
+            .map(|(id, _)| id.0)
+            .collect();
+        // t1 (bmi 17) and t3 (bmi 16.5) match; t2 is male/malaria.
+        assert_eq!(hits, vec![1, 3]);
+    }
+
+    #[test]
+    fn all_operators() {
+        let s = Schema::patient();
+        let row = vec![Value::Int(20), Value::text("male"), Value::Float(20.0), Value::text("malaria")];
+        for (op, want) in [
+            (CompareOp::Eq, true),
+            (CompareOp::Ne, false),
+            (CompareOp::Lt, false),
+            (CompareOp::Le, true),
+            (CompareOp::Gt, false),
+            (CompareOp::Ge, true),
+        ] {
+            let p = Predicate::new("age", op, 20i64);
+            assert_eq!(p.matches(&s, &row).unwrap(), want, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn null_collapses_to_false() {
+        let s = Schema::patient();
+        let row = vec![Value::Null, Value::text("male"), Value::Float(1.0), Value::text("x")];
+        let p = Predicate::new("age", CompareOp::Lt, 100i64);
+        assert!(!p.matches(&s, &row).unwrap());
+    }
+
+    #[test]
+    fn type_confusion_collapses_to_false() {
+        let s = Schema::patient();
+        let row = vec![Value::Int(5), Value::text("male"), Value::Float(1.0), Value::text("x")];
+        let p = Predicate::eq("age", "five");
+        assert!(!p.matches(&s, &row).unwrap());
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let s = Schema::patient();
+        let row = vec![Value::Int(5), Value::text("m"), Value::Float(1.0), Value::text("x")];
+        let p = Predicate::eq("height", 5i64);
+        assert!(matches!(p.matches(&s, &row), Err(RelationError::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn display_reads_like_sql() {
+        let p = Predicate::lt("bmi", 19.0);
+        assert_eq!(p.to_string(), "bmi < 19");
+    }
+}

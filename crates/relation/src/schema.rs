@@ -1,0 +1,187 @@
+//! Attribute schemas.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RelationError;
+use crate::value::Value;
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Integers (coerce to float for fuzzification).
+    Int,
+    /// Floats.
+    Float,
+    /// Text / categorical.
+    Text,
+    /// Booleans.
+    Bool,
+}
+
+impl AttrType {
+    /// Type name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Text => "text",
+            AttrType::Bool => "bool",
+        }
+    }
+
+    /// True when `value` conforms to this type (NULL conforms to all).
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (AttrType::Int, Value::Int(_))
+                | (AttrType::Float, Value::Float(_))
+                | (AttrType::Float, Value::Int(_)) // widening int→float is fine
+                | (AttrType::Text, Value::Text(_))
+                | (AttrType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// One named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within a schema.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, RelationError> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelationError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Self { attributes })
+    }
+
+    /// The paper's `Patient(id implicit; age, sex, bmi, disease)` schema
+    /// (Table 1).
+    pub fn patient() -> Self {
+        Self::new(vec![
+            Attribute::new("age", AttrType::Int),
+            Attribute::new("sex", AttrType::Text),
+            Attribute::new("bmi", AttrType::Float),
+            Attribute::new("disease", AttrType::Text),
+        ])
+        .expect("static schema")
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attributes in index order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Index of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Attribute by name.
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Validates a row of values against the schema.
+    pub fn check_row(&self, values: &[Value]) -> Result<(), RelationError> {
+        if values.len() != self.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.arity(),
+                got: values.len(),
+            });
+        }
+        for (a, v) in self.attributes.iter().zip(values) {
+            if !a.ty.admits(v) {
+                return Err(RelationError::TypeMismatch {
+                    attribute: a.name.clone(),
+                    expected: a.ty.name(),
+                    got: v.type_name(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patient_schema_layout() {
+        let s = Schema::patient();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.index_of("age"), Some(0));
+        assert_eq!(s.index_of("disease"), Some(3));
+        assert_eq!(s.attribute("bmi").unwrap().ty, AttrType::Float);
+        assert!(s.index_of("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Attribute::new("a", AttrType::Int),
+            Attribute::new("a", AttrType::Text),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = Schema::patient();
+        // Table 1, tuple t2.
+        let good = vec![Value::Int(20), Value::text("male"), Value::Float(20.0), Value::text("malaria")];
+        s.check_row(&good).unwrap();
+
+        let short = vec![Value::Int(1)];
+        assert!(matches!(s.check_row(&short), Err(RelationError::ArityMismatch { .. })));
+
+        let bad = vec![Value::text("x"), Value::text("male"), Value::Float(1.0), Value::text("y")];
+        assert!(matches!(s.check_row(&bad), Err(RelationError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn widening_and_null_admitted() {
+        let s = Schema::patient();
+        // Int bmi is admitted under Float; NULL anywhere is admitted.
+        let row = vec![Value::Int(20), Value::Null, Value::Int(20), Value::text("malaria")];
+        s.check_row(&row).unwrap();
+    }
+
+    #[test]
+    fn attr_type_admits_matrix() {
+        assert!(AttrType::Int.admits(&Value::Int(1)));
+        assert!(!AttrType::Int.admits(&Value::Float(1.0)));
+        assert!(AttrType::Float.admits(&Value::Int(1)));
+        assert!(AttrType::Text.admits(&Value::text("x")));
+        assert!(!AttrType::Text.admits(&Value::Bool(true)));
+        assert!(AttrType::Bool.admits(&Value::Null));
+    }
+}

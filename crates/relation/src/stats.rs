@@ -1,0 +1,215 @@
+//! Incremental per-attribute statistics.
+//!
+//! §3.2.1: *"Every new (coarser) tuple stores a record count and
+//! attribute-dependent measures (min, max, mean, standard deviation,
+//! etc.)."* Summaries carry one [`AttributeStats`] per numeric attribute,
+//! maintained with Welford's online algorithm so inserts are O(1) and
+//! numerically stable, and mergeable (Chan et al.) so two peers' summary
+//! statistics can be combined during reconciliation.
+
+use serde::{Deserialize, Serialize};
+
+/// Online count/min/max/mean/variance accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttributeStats {
+    count: f64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    /// Sum of squared deviations (Welford's M2).
+    m2: f64,
+}
+
+impl Default for AttributeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AttributeStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, mean: 0.0, m2: 0.0 }
+    }
+
+    /// Adds one observation with weight 1.
+    pub fn push(&mut self, x: f64) {
+        self.push_weighted(x, 1.0);
+    }
+
+    /// Adds a weighted observation. Summary cells carry fractional tuple
+    /// counts (Table 2's `0.7` / `0.3`), so weights are first-class.
+    pub fn push_weighted(&mut self, x: f64, w: f64) {
+        if w <= 0.0 {
+            return;
+        }
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let new_count = self.count + w;
+        let delta = x - self.mean;
+        self.mean += delta * (w / new_count);
+        self.m2 += w * delta * (x - self.mean);
+        self.count = new_count;
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &AttributeStats) {
+        if other.count == 0.0 {
+            return;
+        }
+        if self.count == 0.0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (other.count / total);
+        self.m2 += other.m2 + delta * delta * (self.count * other.count / total);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count = total;
+    }
+
+    /// Total (possibly fractional) observation weight.
+    pub fn count(&self) -> f64 {
+        self.count
+    }
+
+    /// Minimum observed value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0.0).then_some(self.min)
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0.0).then_some(self.max)
+    }
+
+    /// Weighted mean.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0.0).then_some(self.mean)
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0.0).then_some((self.m2 / self.count).max(0.0))
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Raw accumulator fields `(count, min, max, mean, m2)` — for wire
+    /// codecs that ship summaries between peers.
+    pub fn raw_parts(&self) -> (f64, f64, f64, f64, f64) {
+        (self.count, self.min, self.max, self.mean, self.m2)
+    }
+
+    /// Rebuilds an accumulator from [`AttributeStats::raw_parts`] output.
+    pub fn from_raw_parts(count: f64, min: f64, max: f64, mean: f64, m2: f64) -> Self {
+        Self { count, min, max, mean, m2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let s = AttributeStats::new();
+        assert_eq!(s.count(), 0.0);
+        assert!(s.min().is_none());
+        assert!(s.mean().is_none());
+        assert!(s.std_dev().is_none());
+    }
+
+    #[test]
+    fn basic_moments() {
+        let mut s = AttributeStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!(close(s.mean().unwrap(), 5.0));
+        assert!(close(s.std_dev().unwrap(), 2.0));
+    }
+
+    #[test]
+    fn weighted_push_matches_repetition() {
+        let mut a = AttributeStats::new();
+        a.push_weighted(3.0, 2.0);
+        a.push_weighted(7.0, 1.0);
+        let mut b = AttributeStats::new();
+        b.push(3.0);
+        b.push(3.0);
+        b.push(7.0);
+        assert!(close(a.mean().unwrap(), b.mean().unwrap()));
+        assert!(close(a.variance().unwrap(), b.variance().unwrap()));
+        assert_eq!(a.count(), 3.0);
+    }
+
+    #[test]
+    fn zero_weight_is_ignored() {
+        let mut s = AttributeStats::new();
+        s.push_weighted(5.0, 0.0);
+        s.push_weighted(5.0, -1.0);
+        assert_eq!(s.count(), 0.0);
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut a = AttributeStats::new();
+        let b = AttributeStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0.0);
+
+        let mut c = AttributeStats::new();
+        c.push(1.0);
+        let mut d = AttributeStats::new();
+        d.merge(&c);
+        assert!(close(d.mean().unwrap(), 1.0));
+    }
+
+    proptest! {
+        /// Merging two accumulators equals accumulating the concatenation.
+        #[test]
+        fn merge_equals_concat(
+            xs in proptest::collection::vec(-1e3..1e3f64, 1..50),
+            ys in proptest::collection::vec(-1e3..1e3f64, 1..50),
+        ) {
+            let mut a = AttributeStats::new();
+            for &x in &xs { a.push(x); }
+            let mut b = AttributeStats::new();
+            for &y in &ys { b.push(y); }
+            a.merge(&b);
+
+            let mut whole = AttributeStats::new();
+            for &x in xs.iter().chain(ys.iter()) { whole.push(x); }
+
+            prop_assert!(close(a.mean().unwrap(), whole.mean().unwrap()));
+            prop_assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-6);
+            prop_assert_eq!(a.min().unwrap(), whole.min().unwrap());
+            prop_assert_eq!(a.max().unwrap(), whole.max().unwrap());
+        }
+
+        /// Variance is never negative and mean stays within [min, max].
+        #[test]
+        fn invariants(xs in proptest::collection::vec(-1e6..1e6f64, 1..100)) {
+            let mut s = AttributeStats::new();
+            for &x in &xs { s.push(x); }
+            let mean = s.mean().unwrap();
+            prop_assert!(s.variance().unwrap() >= 0.0);
+            prop_assert!(mean >= s.min().unwrap() - 1e-9);
+            prop_assert!(mean <= s.max().unwrap() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! In-memory tables with a change feed.
+//!
+//! The paper's summarizer consumes database changes in *push mode*
+//! (§4.2.1): the DBMS notifies the summarization service of every insert /
+//! delete / update so the local summary stays incrementally maintained.
+//! [`Table`] keeps a bounded change log ([`TableChange`]) that consumers
+//! drain; the paper's modification-rate observations are computed from it.
+
+use std::collections::BTreeMap;
+
+use crate::error::RelationError;
+use crate::schema::Schema;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+
+/// What happened to a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeKind {
+    /// The tuple was inserted.
+    Insert,
+    /// The tuple was deleted; carries the old values so a summarizer can
+    /// retract the matching cells.
+    Delete {
+        /// Before-image of the deleted tuple.
+        old: Vec<Value>,
+    },
+    /// The tuple was updated in place; carries the old values.
+    Update {
+        /// Before-image of the updated tuple.
+        old: Vec<Value>,
+    },
+}
+
+/// One entry of the change feed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableChange {
+    /// Which tuple changed.
+    pub id: TupleId,
+    /// Kind of change (with before-images where applicable).
+    pub kind: ChangeKind,
+    /// Table revision after the change (1-based, strictly increasing).
+    pub revision: u64,
+}
+
+/// An in-memory relation instance.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: BTreeMap<TupleId, Vec<Value>>,
+    next_id: u64,
+    revision: u64,
+    /// Un-drained changes, oldest first.
+    pending: Vec<TableChange>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, rows: BTreeMap::new(), next_id: 1, revision: 0, pending: Vec::new() }
+    }
+
+    /// The paper's Table 1 instance: three patients.
+    pub fn patient_table1() -> Self {
+        let mut t = Self::new(Schema::patient());
+        t.insert(vec![
+            Value::Int(15),
+            Value::text("female"),
+            Value::Float(17.0),
+            Value::text("anorexia"),
+        ])
+        .expect("static row");
+        t.insert(vec![
+            Value::Int(20),
+            Value::text("male"),
+            Value::Float(20.0),
+            Value::text("malaria"),
+        ])
+        .expect("static row");
+        t.insert(vec![
+            Value::Int(18),
+            Value::text("female"),
+            Value::Float(16.5),
+            Value::text("anorexia"),
+        ])
+        .expect("static row");
+        t
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Current revision (increments on every successful mutation).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Inserts a row, returning its id.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<TupleId, RelationError> {
+        self.schema.check_row(&values)?;
+        let id = TupleId(self.next_id);
+        self.next_id += 1;
+        self.rows.insert(id, values);
+        self.revision += 1;
+        self.pending.push(TableChange { id, kind: ChangeKind::Insert, revision: self.revision });
+        Ok(id)
+    }
+
+    /// Deletes a tuple by id.
+    pub fn delete(&mut self, id: TupleId) -> Result<(), RelationError> {
+        let old = self.rows.remove(&id).ok_or(RelationError::UnknownTuple(id.0))?;
+        self.revision += 1;
+        self.pending.push(TableChange {
+            id,
+            kind: ChangeKind::Delete { old },
+            revision: self.revision,
+        });
+        Ok(())
+    }
+
+    /// Replaces a tuple's values.
+    pub fn update(&mut self, id: TupleId, values: Vec<Value>) -> Result<(), RelationError> {
+        self.schema.check_row(&values)?;
+        let slot = self.rows.get_mut(&id).ok_or(RelationError::UnknownTuple(id.0))?;
+        let old = std::mem::replace(slot, values);
+        self.revision += 1;
+        self.pending.push(TableChange {
+            id,
+            kind: ChangeKind::Update { old },
+            revision: self.revision,
+        });
+        Ok(())
+    }
+
+    /// A tuple by id.
+    pub fn get(&self, id: TupleId) -> Option<Tuple> {
+        self.rows.get(&id).map(|v| Tuple { id, values: v.clone() })
+    }
+
+    /// Iterates over live tuples in id order without cloning values.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[Value])> + '_ {
+        self.rows.iter().map(|(&id, v)| (id, v.as_slice()))
+    }
+
+    /// Materializes all live tuples (id order).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.rows
+            .iter()
+            .map(|(&id, v)| Tuple { id, values: v.clone() })
+            .collect()
+    }
+
+    /// Drains the change feed (oldest first). The summarizer calls this on
+    /// its push-mode notifications.
+    pub fn drain_changes(&mut self) -> Vec<TableChange> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Number of un-drained changes.
+    pub fn pending_changes(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contents() {
+        let t = Table::patient_table1();
+        assert_eq!(t.len(), 3);
+        let rows = t.tuples();
+        assert_eq!(rows[0].values[0], Value::Int(15));
+        assert_eq!(rows[1].values[3], Value::text("malaria"));
+        assert_eq!(rows[2].values[2], Value::Float(16.5));
+    }
+
+    #[test]
+    fn insert_assigns_increasing_ids_and_revisions() {
+        let mut t = Table::new(Schema::patient());
+        let a = t
+            .insert(vec![Value::Int(1), Value::text("f"), Value::Float(20.0), Value::text("x")])
+            .unwrap();
+        let b = t
+            .insert(vec![Value::Int(2), Value::text("m"), Value::Float(21.0), Value::text("y")])
+            .unwrap();
+        assert!(b > a);
+        assert_eq!(t.revision(), 2);
+    }
+
+    #[test]
+    fn delete_and_update_produce_before_images() {
+        let mut t = Table::patient_table1();
+        t.drain_changes();
+        let id = TupleId(1);
+        t.update(id, vec![Value::Int(16), Value::text("female"), Value::Float(18.0), Value::text("anorexia")])
+            .unwrap();
+        t.delete(TupleId(2)).unwrap();
+        let changes = t.drain_changes();
+        assert_eq!(changes.len(), 2);
+        match &changes[0].kind {
+            ChangeKind::Update { old } => assert_eq!(old[0], Value::Int(15)),
+            other => panic!("expected update, got {other:?}"),
+        }
+        match &changes[1].kind {
+            ChangeKind::Delete { old } => assert_eq!(old[3], Value::text("malaria")),
+            other => panic!("expected delete, got {other:?}"),
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.pending_changes(), 0);
+    }
+
+    #[test]
+    fn unknown_tuple_errors() {
+        let mut t = Table::new(Schema::patient());
+        assert!(matches!(t.delete(TupleId(9)), Err(RelationError::UnknownTuple(9))));
+        assert!(t
+            .update(TupleId(9), vec![Value::Int(1), Value::text("f"), Value::Float(1.0), Value::text("d")])
+            .is_err());
+        assert!(t.get(TupleId(9)).is_none());
+    }
+
+    #[test]
+    fn bad_rows_do_not_mutate() {
+        let mut t = Table::new(Schema::patient());
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert_eq!(t.revision(), 0);
+        assert_eq!(t.pending_changes(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_matches_tuples() {
+        let t = Table::patient_table1();
+        let via_iter: Vec<TupleId> = t.iter().map(|(id, _)| id).collect();
+        let via_tuples: Vec<TupleId> = t.tuples().into_iter().map(|tp| tp.id).collect();
+        assert_eq!(via_iter, via_tuples);
+    }
+}

@@ -1,0 +1,38 @@
+//! Tuples (records) and tuple identifiers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Stable identifier of a tuple within one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TupleId(pub u64);
+
+/// A record: an id plus one value per schema attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Stable id assigned by the owning table.
+    pub id: TupleId,
+    /// Values, in schema attribute order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Value at attribute index `idx`.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_by_index() {
+        let t = Tuple { id: TupleId(1), values: vec![Value::Int(15), Value::text("female")] };
+        assert_eq!(t.get(0), Some(&Value::Int(15)));
+        assert_eq!(t.get(1), Some(&Value::text("female")));
+        assert_eq!(t.get(2), None);
+    }
+}

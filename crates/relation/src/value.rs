@@ -1,0 +1,204 @@
+//! Typed database values.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RelationError;
+
+/// A single attribute value.
+///
+/// Text values are reference-counted so that cloning a tuple (which happens
+/// on every mapping pass) does not copy string payloads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Interned text.
+    Text(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// SQL-style NULL.
+    Null,
+}
+
+impl Value {
+    /// Human-readable type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+            Value::Bool(_) => "bool",
+            Value::Null => "null",
+        }
+    }
+
+    /// Builds a text value.
+    pub fn text(s: impl AsRef<str>) -> Self {
+        Value::Text(Arc::from(s.as_ref()))
+    }
+
+    /// Numeric view: ints and floats coerce to `f64`, everything else is
+    /// `None`. This is the view the mapping service uses for linguistic
+    /// variables.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Three-valued comparison for predicate evaluation. Numeric types
+    /// compare across `Int`/`Float`; text compares lexicographically;
+    /// NULL compares with nothing (returns `Err`), matching SQL's
+    /// "unknown" semantics at the boundary we need.
+    pub fn compare(&self, other: &Value) -> Result<std::cmp::Ordering, RelationError> {
+        let err = || RelationError::IncomparableValues {
+            left: self.type_name(),
+            right: other.type_name(),
+        };
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b).ok_or_else(err),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b).ok_or_else(err),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)).ok_or_else(err),
+            (Value::Text(a), Value::Text(b)) => Ok(a.as_ref().cmp(b.as_ref())),
+            (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+            _ => Err(err()),
+        }
+    }
+
+    /// Equality under the same coercions as [`Value::compare`]; NULL is
+    /// never equal to anything (including NULL).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.compare(other).map(|o| o == std::cmp::Ordering::Equal).unwrap_or(false)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Null, Value::Null) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)).unwrap(), Ordering::Equal);
+        assert_eq!(Value::Float(1.5).compare(&Value::Int(2)).unwrap(), Ordering::Less);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::text("x").as_f64(), None);
+    }
+
+    #[test]
+    fn text_comparison() {
+        assert_eq!(
+            Value::text("abc").compare(&Value::text("abd")).unwrap(),
+            Ordering::Less
+        );
+        assert!(Value::text("a").sql_eq(&Value::text("a")));
+    }
+
+    #[test]
+    fn null_is_incomparable() {
+        assert!(Value::Null.compare(&Value::Int(1)).is_err());
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn mixed_types_incomparable() {
+        let err = Value::Int(1).compare(&Value::text("1")).unwrap_err();
+        assert!(matches!(err, RelationError::IncomparableValues { .. }));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::text("hi").to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from("s"), Value::text("s"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn clone_shares_text_payload() {
+        let v = Value::text("shared");
+        let w = v.clone();
+        if let (Value::Text(a), Value::Text(b)) = (&v, &w) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            panic!("expected text values");
+        }
+    }
+}

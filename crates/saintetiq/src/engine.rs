@@ -1,0 +1,725 @@
+//! The summarization service (§3.2.2): top-down Cobweb-style
+//! incorporation of grid cells into the summary hierarchy.
+//!
+//! Cells descend the tree from the root. At each level the engine scores
+//! four operators with the category-utility partition score
+//! ([`crate::score`]) and applies the best:
+//!
+//! * **incorporate** — place the cell into the best-fitting child (and
+//!   recurse if that child is internal);
+//! * **create** — open a fresh singleton child for the cell;
+//! * **merge** — fuse the two best children under a new host, then
+//!   descend into it;
+//! * **split** — dissolve the best child, promoting its children, and
+//!   rescore.
+//!
+//! Once a cell's coordinate already exists in the tree, incorporation
+//! degenerates to "sorting it in a tree" (§4.2.1) — a count update along
+//! one root-to-leaf path — which is why summaries stabilize and the
+//! whole process is `O(K)` in the number of cells (§6.1.1; benchmarked
+//! in `sumq-bench`).
+
+use fuzzy::bk::BackgroundKnowledge;
+use fuzzy::descriptor::{Grade, LabelId};
+use relation::schema::Schema;
+use relation::table::{ChangeKind, Table, TableChange};
+
+use crate::cell::{CellKey, SourceId};
+use crate::error::SummaryError;
+use crate::hierarchy::{NodeId, SummaryTree};
+use crate::mapping::Mapper;
+use crate::score::{category_utility, category_utility_with_new_child};
+
+/// Tunables of the summarization service.
+///
+/// The cited SaintEtiQ papers leave these constants open; defaults follow
+/// classic Cobweb. Benchmarks ablate `enable_merge` / `enable_split`.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Consider the *merge* operator during descent.
+    pub enable_merge: bool,
+    /// Consider the *split* operator during descent.
+    pub enable_split: bool,
+    /// Score improvements below this epsilon do not justify a merge or a
+    /// split (hysteresis keeps the tree stable, which §4.2.1 relies on).
+    pub restructure_epsilon: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { enable_merge: true, enable_split: true, restructure_epsilon: 1e-6 }
+    }
+}
+
+/// What the descent decided at one level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Operator {
+    Host(usize),
+    Create,
+    Merge(usize, usize),
+    Split(usize),
+}
+
+/// Incorporates one weighted cell contribution into `tree`.
+///
+/// This free function is the engine's core; [`SaintEtiQEngine`] wraps it
+/// for local tables and [`crate::merge`] reuses it to merge hierarchies.
+pub fn incorporate_cell(
+    tree: &mut SummaryTree,
+    config: &EngineConfig,
+    key: &CellKey,
+    source: SourceId,
+    weight: f64,
+    grades: &[Grade],
+    raw_values: Option<&[Option<f64>]>,
+) {
+    if weight <= 0.0 {
+        return;
+    }
+    if tree.leaf_of(key).is_some() {
+        // Stable case: the coordinate exists; sorting in the tree is a
+        // single path update.
+        tree.add_to_cell(key, source, weight, grades, raw_values);
+        return;
+    }
+    let leaf_parent = descend(tree, config, key, weight);
+    tree.create_leaf(leaf_parent, key.clone());
+    tree.add_to_cell(key, source, weight, grades, raw_values);
+}
+
+/// Cobweb descent: returns the internal node that should directly parent
+/// the new leaf for `key`.
+fn descend(tree: &mut SummaryTree, config: &EngineConfig, key: &CellKey, weight: f64) -> NodeId {
+    let mut node = tree.root();
+    // Per-node guards: after a merge/split at this node we must make
+    // progress through host/create, so restructuring can't loop.
+    let mut merged_here = false;
+    let mut split_here = false;
+    loop {
+        let children = tree.node(node).children.clone();
+        if children.is_empty() {
+            return node;
+        }
+
+        let op = choose_operator(
+            tree,
+            config,
+            node,
+            &children,
+            key,
+            weight,
+            merged_here,
+            split_here,
+        );
+        match op {
+            Operator::Create => return node,
+            Operator::Host(i) => {
+                let child = children[i];
+                if tree.node(child).is_leaf() {
+                    // Turn the leaf into a cluster: host = {old leaf, new}.
+                    let host = tree.create_internal(node);
+                    tree.reparent(child, host);
+                    return host;
+                }
+                node = child;
+                merged_here = false;
+                split_here = false;
+            }
+            Operator::Merge(i, j) => {
+                let host = tree.merge_children(node, children[i], children[j]);
+                node = host;
+                // The fresh host was just merged into existence; don't
+                // merge again at this level before placing the cell.
+                merged_here = true;
+                split_here = false;
+            }
+            Operator::Split(i) => {
+                tree.split_node(children[i]);
+                split_here = true;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn choose_operator(
+    tree: &SummaryTree,
+    config: &EngineConfig,
+    node: NodeId,
+    children: &[NodeId],
+    key: &CellKey,
+    weight: f64,
+    merged_here: bool,
+    split_here: bool,
+) -> Operator {
+    let labels: &[LabelId] = &key.0;
+
+    // Score hosting in each child.
+    let mut best: (f64, usize) = (f64::NEG_INFINITY, 0);
+    let mut second: (f64, usize) = (f64::NEG_INFINITY, 0);
+    for i in 0..children.len() {
+        let s = category_utility(tree, node, Some((i, labels, weight)));
+        if s > best.0 {
+            second = best;
+            best = (s, i);
+        } else if s > second.0 {
+            second = (s, i);
+        }
+    }
+    let create_score = category_utility_with_new_child(tree, node, labels, weight);
+
+    let mut winner = if create_score > best.0 {
+        (create_score, Operator::Create)
+    } else {
+        (best.0, Operator::Host(best.1))
+    };
+
+    // Merge: fuse the two best hosts, place the cell inside the fusion.
+    if config.enable_merge && !merged_here && children.len() >= 3 && second.0 > f64::NEG_INFINITY
+    {
+        let s = merge_score(tree, node, children, best.1, second.1, labels, weight);
+        if s > winner.0 + config.restructure_epsilon {
+            winner = (s, Operator::Merge(best.1, second.1));
+        }
+    }
+
+    // Split: dissolve the best host if it is internal.
+    if config.enable_split && !split_here {
+        let host = children[best.1];
+        if !tree.node(host).is_leaf() {
+            let s = split_score(tree, node, children, best.1, labels, weight);
+            if s > winner.0 + config.restructure_epsilon {
+                winner = (s, Operator::Split(best.1));
+            }
+        }
+    }
+
+    winner.1
+}
+
+/// Σ_a Σ_l p² over an explicit histogram with the pending cell added.
+fn ec_of(hist: &[Vec<f64>], count: f64, pending: Option<(&[LabelId], f64)>) -> f64 {
+    let total = count + pending.map(|(_, w)| w).unwrap_or(0.0);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (attr, labels) in hist.iter().enumerate() {
+        for (l, &w) in labels.iter().enumerate() {
+            let mut w = w;
+            if let Some((key, pw)) = pending {
+                if key[attr].index() == l {
+                    w += pw;
+                }
+            }
+            if w > 0.0 {
+                let p = w / total;
+                sum += p * p;
+            }
+        }
+    }
+    sum
+}
+
+/// CU of `node`'s partition if children `i` and `j` were fused into one
+/// host that also receives the pending cell.
+fn merge_score(
+    tree: &SummaryTree,
+    node: NodeId,
+    children: &[NodeId],
+    i: usize,
+    j: usize,
+    labels: &[LabelId],
+    weight: f64,
+) -> f64 {
+    let parent = tree.node(node);
+    let parent_total = parent.count + weight;
+    if parent_total <= 0.0 {
+        return 0.0;
+    }
+    let parent_ec = ec_of(&parent.hist, parent.count, Some((labels, weight)));
+    let k = children.len() - 1; // i and j fuse into one
+    let mut cu = 0.0;
+    // Fused host histogram = hist_i + hist_j (+ pending cell).
+    let (ci, cj) = (tree.node(children[i]), tree.node(children[j]));
+    let mut fused: Vec<Vec<f64>> = ci.hist.clone();
+    for (attr, labels_h) in fused.iter_mut().enumerate() {
+        for (l, slot) in labels_h.iter_mut().enumerate() {
+            *slot += cj.hist[attr][l];
+        }
+    }
+    let fused_count = ci.count + cj.count;
+    let fused_total = fused_count + weight;
+    if fused_total > 0.0 {
+        let ec = ec_of(&fused, fused_count, Some((labels, weight)));
+        cu += (fused_total / parent_total) * (ec - parent_ec);
+    }
+    for (idx, &c) in children.iter().enumerate() {
+        if idx == i || idx == j {
+            continue;
+        }
+        let child = tree.node(c);
+        if child.count <= 0.0 {
+            continue;
+        }
+        let ec = ec_of(&child.hist, child.count, None);
+        cu += (child.count / parent_total) * (ec - parent_ec);
+    }
+    cu / k as f64
+}
+
+/// CU of `node`'s partition if child `i` (internal) were dissolved, its
+/// children promoted, and the pending cell placed in the best promoted
+/// grandchild.
+fn split_score(
+    tree: &SummaryTree,
+    node: NodeId,
+    children: &[NodeId],
+    i: usize,
+    labels: &[LabelId],
+    weight: f64,
+) -> f64 {
+    let parent = tree.node(node);
+    let parent_total = parent.count + weight;
+    if parent_total <= 0.0 {
+        return 0.0;
+    }
+    let parent_ec = ec_of(&parent.hist, parent.count, Some((labels, weight)));
+    let grandchildren = tree.node(children[i]).children.clone();
+    let k = children.len() - 1 + grandchildren.len();
+    if k == 0 {
+        return f64::NEG_INFINITY;
+    }
+    // Contribution of the unaffected children.
+    let mut base = 0.0;
+    for (idx, &c) in children.iter().enumerate() {
+        if idx == i {
+            continue;
+        }
+        let child = tree.node(c);
+        if child.count <= 0.0 {
+            continue;
+        }
+        base += (child.count / parent_total) * (ec_of(&child.hist, child.count, None) - parent_ec);
+    }
+    // Try the pending cell in each promoted grandchild; keep the best.
+    let mut best = f64::NEG_INFINITY;
+    for (gi, &g) in grandchildren.iter().enumerate() {
+        let mut cu = base;
+        for (gj, &h) in grandchildren.iter().enumerate() {
+            let gc = tree.node(h);
+            let pending = (gi == gj).then_some((labels, weight));
+            let total = gc.count + pending.map(|(_, w)| w).unwrap_or(0.0);
+            if total <= 0.0 {
+                continue;
+            }
+            let ec = ec_of(&gc.hist, gc.count, pending);
+            cu += (total / parent_total) * (ec - parent_ec);
+        }
+        let _ = g;
+        best = best.max(cu);
+    }
+    best / k as f64
+}
+
+/// The per-peer summarization engine: a [`Mapper`] feeding a
+/// [`SummaryTree`], consuming tables and push-mode change feeds.
+#[derive(Debug, Clone)]
+pub struct SaintEtiQEngine {
+    mapper: Mapper,
+    tree: SummaryTree,
+    config: EngineConfig,
+    source: SourceId,
+    unmappable: usize,
+}
+
+impl SaintEtiQEngine {
+    /// Builds an engine for `source` over the given BK and relation
+    /// schema.
+    pub fn new(
+        bk: BackgroundKnowledge,
+        schema: &Schema,
+        config: EngineConfig,
+        source: SourceId,
+    ) -> Result<Self, SummaryError> {
+        let label_counts = bk.attributes().iter().map(|a| a.label_count()).collect();
+        let tree = SummaryTree::new(bk.name().to_string(), label_counts);
+        let mapper = Mapper::bind(bk, schema)?;
+        Ok(Self { mapper, tree, config, source, unmappable: 0 })
+    }
+
+    /// The engine's source id (the owning peer).
+    pub fn source(&self) -> SourceId {
+        self.source
+    }
+
+    /// The mapper (BK binding).
+    pub fn mapper(&self) -> &Mapper {
+        &self.mapper
+    }
+
+    /// The summary hierarchy.
+    pub fn tree(&self) -> &SummaryTree {
+        &self.tree
+    }
+
+    /// Consumes the engine, returning the hierarchy.
+    pub fn into_tree(self) -> SummaryTree {
+        self.tree
+    }
+
+    /// Records skipped as unmappable so far.
+    pub fn unmappable(&self) -> usize {
+        self.unmappable
+    }
+
+    /// Extracts raw numeric values (per BK attribute) for statistics.
+    fn raw_values(&self, row: &[relation::value::Value]) -> Vec<Option<f64>> {
+        let bk = self.mapper.bk();
+        let schema_cols: Vec<Option<f64>> = bk
+            .attributes()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                // Column index resolution mirrors the mapper's binding.
+                let col = self.mapper.column(i);
+                row[col].as_f64()
+            })
+            .collect();
+        schema_cols
+    }
+
+    /// Incorporates one record.
+    pub fn add_record(&mut self, row: &[relation::value::Value]) {
+        match self.mapper.map_record(row) {
+            Ok(cells) => {
+                let raw = self.raw_values(row);
+                for cand in cells {
+                    incorporate_cell(
+                        &mut self.tree,
+                        &self.config,
+                        &cand.key,
+                        self.source,
+                        cand.weight,
+                        &cand.grades,
+                        Some(&raw),
+                    );
+                }
+            }
+            Err(_) => self.unmappable += 1,
+        }
+    }
+
+    /// Retracts one record (its before-image).
+    pub fn remove_record(&mut self, row: &[relation::value::Value]) {
+        if let Ok(cells) = self.mapper.map_record(row) {
+            for cand in cells {
+                self.tree.remove_from_cell(&cand.key, self.source, cand.weight);
+            }
+        }
+    }
+
+    /// Summarizes a whole table (initial build). Raw data is parsed once,
+    /// as §3.2.3 highlights.
+    pub fn summarize_table(&mut self, table: &Table) {
+        for (_, row) in table.iter() {
+            self.add_record(row);
+        }
+    }
+
+    /// Applies a push-mode change feed (§4.2.1). `table` provides the
+    /// after-images of inserts/updates.
+    pub fn apply_changes(&mut self, table: &Table, changes: &[TableChange]) {
+        for ch in changes {
+            match &ch.kind {
+                ChangeKind::Insert => {
+                    if let Some(t) = table.get(ch.id) {
+                        self.add_record(&t.values);
+                    }
+                }
+                ChangeKind::Delete { old } => self.remove_record(old),
+                ChangeKind::Update { old } => {
+                    self.remove_record(old);
+                    if let Some(t) = table.get(ch.id) {
+                        self.add_record(&t.values);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the hierarchy from scratch off the current table —
+    /// used after heavy churn, mirroring the paper's global-summary
+    /// reconciliation which reconstructs `NewGS`.
+    pub fn rebuild(&mut self, table: &Table) {
+        let label_counts = self.tree.label_counts().to_vec();
+        self.tree = SummaryTree::new(self.tree.bk_name().to_string(), label_counts);
+        self.unmappable = 0;
+        self.summarize_table(table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzy::bk::BackgroundKnowledge;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use relation::generator::{patient_table, MatchTarget, PatientDistributions};
+
+    fn engine() -> SaintEtiQEngine {
+        SaintEtiQEngine::new(
+            BackgroundKnowledge::medical_cbk(),
+            &Schema::patient(),
+            EngineConfig::default(),
+            SourceId(1),
+        )
+        .unwrap()
+    }
+
+    /// The paper's Figure 3: summarizing Table 1 yields a hierarchy whose
+    /// leaves are exactly cells c1, c2, c3 with Table 2's counts.
+    #[test]
+    fn figure3_hierarchy_from_table1() {
+        let mut e = engine();
+        e.summarize_table(&Table::patient_table1());
+        let t = e.tree();
+        t.check_invariants();
+        assert_eq!(t.leaf_count(), 3, "cells c1, c2, c3");
+        assert!((t.total_count() - 3.0).abs() < 1e-9, "three patients");
+        // Counts per cell match Table 2.
+        let weights: Vec<f64> = t.cells().values().map(|e| e.content.weight).collect();
+        let mut sorted = weights.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((sorted[0] - 0.3).abs() < 1e-9);
+        assert!((sorted[1] - 0.7).abs() < 1e-9);
+        assert!((sorted[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incorporation_is_idempotent_on_structure() {
+        // Re-adding records with existing coordinates must only touch
+        // counts ("incorporating new tuple consists only in sorting it in
+        // a tree", §4.2.1).
+        let mut e = engine();
+        let table = Table::patient_table1();
+        e.summarize_table(&table);
+        let nodes_before = e.tree().live_node_count();
+        e.summarize_table(&table);
+        assert_eq!(e.tree().live_node_count(), nodes_before);
+        assert!((e.tree().total_count() - 6.0).abs() < 1e-9);
+        e.tree().check_invariants();
+    }
+
+    #[test]
+    fn push_mode_insert_delete_update() {
+        let mut e = engine();
+        let mut table = Table::patient_table1();
+        e.summarize_table(&table);
+        table.drain_changes();
+
+        // Insert a new patient, delete t2, update t1.
+        table
+            .insert(vec![
+                relation::value::Value::Int(70),
+                relation::value::Value::text("male"),
+                relation::value::Value::Float(28.0),
+                relation::value::Value::text("diabetes"),
+            ])
+            .unwrap();
+        table.delete(relation::tuple::TupleId(2)).unwrap();
+        table
+            .update(
+                relation::tuple::TupleId(1),
+                vec![
+                    relation::value::Value::Int(16),
+                    relation::value::Value::text("female"),
+                    relation::value::Value::Float(17.2),
+                    relation::value::Value::text("anorexia"),
+                ],
+            )
+            .unwrap();
+        let changes = table.drain_changes();
+        e.apply_changes(&table, &changes);
+        e.tree().check_invariants();
+        assert!((e.tree().total_count() - 3.0).abs() < 1e-9, "3 live tuples");
+
+        // A rebuilt engine over the same table must agree on cells.
+        let mut fresh = engine();
+        fresh.summarize_table(&table);
+        let keys_inc: Vec<_> = e.tree().cells().keys().cloned().collect();
+        let keys_fresh: Vec<_> = fresh.tree().cells().keys().cloned().collect();
+        assert_eq!(keys_inc, keys_fresh, "incremental == from-scratch cell set");
+        for (k, entry) in e.tree().cells() {
+            let w_fresh = fresh.tree().cells()[k].content.weight;
+            assert!(
+                (entry.content.weight - w_fresh).abs() < 1e-9,
+                "weight drift on {k:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_table_keeps_invariants_and_mass() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let dist = PatientDistributions::default();
+        let target = MatchTarget { disease: Some("malaria".into()), ..Default::default() };
+        let table = patient_table(&mut rng, 300, &dist, &target, 30);
+        let mut e = engine();
+        e.summarize_table(&table);
+        let t = e.tree();
+        t.check_invariants();
+        assert!((t.total_count() - 300.0).abs() < 1e-6);
+        assert_eq!(e.unmappable(), 0);
+        // K << N: the grid bounds the number of leaves.
+        assert!(t.leaf_count() <= 324, "leaves {} exceed grid", t.leaf_count());
+        assert!(t.leaf_count() < 300, "summarization must compress");
+        // Tree is genuinely hierarchical, not a flat root.
+        assert!(t.depth() >= 2, "depth {}", t.depth());
+    }
+
+    #[test]
+    fn removal_mirrors_addition_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let dist = PatientDistributions::default();
+        let mut e = engine();
+        let base = patient_table(&mut rng, 50, &dist, &MatchTarget::default(), 0);
+        e.summarize_table(&base);
+        let leaf_count = e.tree().leaf_count();
+        let total = e.tree().total_count();
+
+        // Add then remove 20 extra random records: tree returns to the
+        // same cell multiset.
+        let extra: Vec<Vec<relation::value::Value>> = (0..20)
+            .map(|_| relation::generator::random_patient(&mut rng, &dist))
+            .collect();
+        for row in &extra {
+            e.add_record(row);
+        }
+        for row in &extra {
+            e.remove_record(row);
+        }
+        e.tree().check_invariants();
+        assert_eq!(e.tree().leaf_count(), leaf_count);
+        assert!((e.tree().total_count() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unmappable_records_are_counted() {
+        let mut e = engine();
+        e.add_record(&[
+            relation::value::Value::Null,
+            relation::value::Value::text("female"),
+            relation::value::Value::Float(20.0),
+            relation::value::Value::text("malaria"),
+        ]);
+        assert_eq!(e.unmappable(), 1);
+        assert_eq!(e.tree().leaf_count(), 0);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_cells() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let dist = PatientDistributions::default();
+        let table = patient_table(&mut rng, 120, &dist, &MatchTarget::default(), 0);
+        let mut e = engine();
+        e.summarize_table(&table);
+        let before: Vec<_> =
+            e.tree().cells().iter().map(|(k, v)| (k.clone(), v.content.weight)).collect();
+        e.rebuild(&table);
+        let after: Vec<_> =
+            e.tree().cells().iter().map(|(k, v)| (k.clone(), v.content.weight)).collect();
+        assert_eq!(before.len(), after.len());
+        for ((ka, wa), (kb, wb)) in before.iter().zip(&after) {
+            assert_eq!(ka, kb);
+            assert!((wa - wb).abs() < 1e-9);
+        }
+        e.tree().check_invariants();
+    }
+
+    #[test]
+    fn ablation_no_restructure_still_correct() {
+        // With merge/split disabled the tree may be flatter but cells and
+        // mass must be identical.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let dist = PatientDistributions::default();
+        let table = patient_table(&mut rng, 200, &dist, &MatchTarget::default(), 0);
+
+        let full = {
+            let mut e = engine();
+            e.summarize_table(&table);
+            e.into_tree()
+        };
+        let plain = {
+            let mut e = SaintEtiQEngine::new(
+                BackgroundKnowledge::medical_cbk(),
+                &Schema::patient(),
+                EngineConfig { enable_merge: false, enable_split: false, ..Default::default() },
+                SourceId(1),
+            )
+            .unwrap();
+            e.summarize_table(&table);
+            e.into_tree()
+        };
+        plain.check_invariants();
+        assert_eq!(full.leaf_count(), plain.leaf_count());
+        assert!((full.total_count() - plain.total_count()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn order_invariance_of_cells() {
+        // Different insertion orders may shape the tree differently, but
+        // the leaf cells (the summary's semantics) are order-independent.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let dist = PatientDistributions::default();
+        let rows: Vec<Vec<relation::value::Value>> =
+            (0..80).map(|_| relation::generator::random_patient(&mut rng, &dist)).collect();
+
+        let mut forward = engine();
+        for r in &rows {
+            forward.add_record(r);
+        }
+        let mut backward = engine();
+        for r in rows.iter().rev() {
+            backward.add_record(r);
+        }
+        let f: Vec<_> = forward.tree().cells().keys().cloned().collect();
+        let b: Vec<_> = backward.tree().cells().keys().cloned().collect();
+        assert_eq!(f, b);
+        for k in &f {
+            let wf = forward.tree().cells()[k].content.weight;
+            let wb = backward.tree().cells()[k].content.weight;
+            assert!((wf - wb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_small_batches_keep_invariants() {
+        // Smoke-level property test: random add/remove interleavings
+        // never break structural invariants.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let dist = PatientDistributions::default();
+        for round in 0..10 {
+            let mut e = engine();
+            let mut live: Vec<Vec<relation::value::Value>> = Vec::new();
+            for _ in 0..60 {
+                if !live.is_empty() && rng.gen_bool(0.3) {
+                    let idx = rng.gen_range(0..live.len());
+                    let row = live.swap_remove(idx);
+                    e.remove_record(&row);
+                } else {
+                    let row = relation::generator::random_patient(&mut rng, &dist);
+                    e.add_record(&row);
+                    live.push(row);
+                }
+                e.tree().check_invariants();
+            }
+            assert!(
+                (e.tree().total_count() - live.len() as f64).abs() < 1e-6,
+                "round {round}: mass {} vs {}",
+                e.tree().total_count(),
+                live.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The mapping service (§3.2.1): records → weighted grid cells.
+//!
+//! For each record, every summarized attribute is fuzzified against the
+//! Background Knowledge; grades below the BK's pruning threshold τ are
+//! dropped and the survivors renormalized (see
+//! [`fuzzy::linguistic::LinguisticVariable::fuzzify_pruned`]). The record
+//! is then split over the cartesian product of its per-attribute label
+//! sets, each cell weighted by the product of grades. This reproduces the
+//! paper's Table 2 exactly: three patients map to `c1 = (young,
+//! underweight) : 2`, `c2 = (young, normal) : 0.7`, `c3 = (adult,
+//! normal) : 0.3`.
+
+use fuzzy::bk::{AttributeVocabulary, BackgroundKnowledge};
+use fuzzy::descriptor::{Grade, LabelId};
+use relation::schema::Schema;
+use relation::value::Value;
+
+use crate::cell::{CandidateCell, CellKey};
+use crate::error::SummaryError;
+
+/// Binds a Background Knowledge to a relation schema: for each BK
+/// attribute, the index of the feeding column.
+///
+/// ```
+/// use fuzzy::BackgroundKnowledge;
+/// use relation::{schema::Schema, table::Table};
+/// use saintetiq::mapping::Mapper;
+///
+/// let mapper = Mapper::bind(BackgroundKnowledge::medical_cbk(), &Schema::patient())?;
+/// let table = Table::patient_table1();
+/// // Tuple t2 (age 20) splits across two cells: 0.7 young + 0.3 adult.
+/// let t2 = table.get(relation::tuple::TupleId(2)).unwrap();
+/// let cells = mapper.map_record(&t2.values)?;
+/// assert_eq!(cells.len(), 2);
+/// let total: f64 = cells.iter().map(|c| c.weight).sum();
+/// assert!((total - 1.0).abs() < 1e-9, "mass is conserved");
+/// # Ok::<(), saintetiq::SummaryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mapper {
+    bk: BackgroundKnowledge,
+    /// `columns[i]` = schema column index feeding BK attribute `i`.
+    columns: Vec<usize>,
+}
+
+impl Mapper {
+    /// Binds `bk` to `schema` by attribute name. Every BK attribute must
+    /// exist in the schema with a compatible kind (numeric vocabulary ↔
+    /// int/float column, categorical ↔ text column).
+    pub fn bind(bk: BackgroundKnowledge, schema: &Schema) -> Result<Self, SummaryError> {
+        let mut columns = Vec::with_capacity(bk.arity());
+        for attr in bk.attributes() {
+            let idx = schema
+                .index_of(attr.name())
+                .ok_or_else(|| SummaryError::MissingColumn(attr.name().to_string()))?;
+            let col = &schema.attributes()[idx];
+            let numeric_col = matches!(
+                col.ty,
+                relation::schema::AttrType::Int | relation::schema::AttrType::Float
+            );
+            let numeric_bk = matches!(attr, AttributeVocabulary::Numeric(_));
+            if numeric_col != numeric_bk {
+                return Err(SummaryError::KindMismatch { attribute: attr.name().to_string() });
+            }
+            columns.push(idx);
+        }
+        Ok(Self { bk, columns })
+    }
+
+    /// The bound background knowledge.
+    pub fn bk(&self) -> &BackgroundKnowledge {
+        &self.bk
+    }
+
+    /// The schema column index feeding BK attribute `attr_idx`.
+    pub fn column(&self, attr_idx: usize) -> usize {
+        self.columns[attr_idx]
+    }
+
+    /// Maps one record into its weighted candidate cells. Cell weights
+    /// over one record sum to 1 (mass conservation), so summary counts
+    /// equal record counts.
+    ///
+    /// A record with a NULL or out-of-vocabulary value on some attribute
+    /// is unmappable on that dimension and yields `Err`; the caller
+    /// decides whether to skip or fail (the engine skips and counts).
+    pub fn map_record(&self, row: &[Value]) -> Result<Vec<CandidateCell>, SummaryError> {
+        // Per attribute: the (label, renormalized grade, raw grade) kept.
+        let mut per_attr: Vec<Vec<(LabelId, Grade, Grade)>> = Vec::with_capacity(self.bk.arity());
+        for (attr_idx, attr) in self.bk.attributes().iter().enumerate() {
+            let value = &row[self.columns[attr_idx]];
+            let kept: Vec<(LabelId, Grade, Grade)> = match attr {
+                AttributeVocabulary::Numeric(var) => {
+                    let x = value.as_f64().ok_or_else(|| SummaryError::Unmappable {
+                        attribute: attr.name().to_string(),
+                        value: value.to_string(),
+                    })?;
+                    // Keep the raw grade alongside the renormalized one:
+                    // raw grades become the cell's "0.3/adult" annotations.
+                    let raw = var.fuzzify(x);
+                    let pruned = var.fuzzify_pruned(x, self.bk.tau);
+                    pruned
+                        .into_iter()
+                        .map(|(l, g)| {
+                            let rawg =
+                                raw.iter().find(|(rl, _)| *rl == l).map(|&(_, g)| g).unwrap_or(g);
+                            (l, g, rawg)
+                        })
+                        .collect()
+                }
+                AttributeVocabulary::Categorical(tax) => {
+                    let s = value.as_str().ok_or_else(|| SummaryError::Unmappable {
+                        attribute: attr.name().to_string(),
+                        value: value.to_string(),
+                    })?;
+                    tax.categorize(s).into_iter().map(|(l, g)| (l, g, g)).collect()
+                }
+            };
+            if kept.is_empty() {
+                return Err(SummaryError::Unmappable {
+                    attribute: attr.name().to_string(),
+                    value: value.to_string(),
+                });
+            }
+            per_attr.push(kept);
+        }
+
+        // Cartesian product of kept labels; weight = Π renormalized grades.
+        let mut cells: Vec<CandidateCell> = vec![CandidateCell {
+            key: CellKey(Vec::with_capacity(self.bk.arity())),
+            weight: 1.0,
+            grades: Vec::with_capacity(self.bk.arity()),
+        }];
+        for kept in &per_attr {
+            let mut next = Vec::with_capacity(cells.len() * kept.len());
+            for cell in &cells {
+                for &(label, g, raw) in kept {
+                    let mut key = cell.key.0.clone();
+                    key.push(label);
+                    let mut grades = cell.grades.clone();
+                    grades.push(raw);
+                    next.push(CandidateCell {
+                        key: CellKey(key),
+                        weight: cell.weight * g,
+                        grades,
+                    });
+                }
+            }
+            cells = next;
+        }
+        Ok(cells)
+    }
+
+    /// Maps a whole table; unmappable records are skipped and counted in
+    /// the second return value.
+    pub fn map_table(&self, table: &relation::table::Table) -> (Vec<Vec<CandidateCell>>, usize) {
+        let mut out = Vec::with_capacity(table.len());
+        let mut skipped = 0;
+        for (_, row) in table.iter() {
+            match self.map_record(row) {
+                Ok(cells) => out.push(cells),
+                Err(_) => skipped += 1,
+            }
+        }
+        (out, skipped)
+    }
+
+    /// Renders a cell key with label names, for display/debugging:
+    /// `(young, female, underweight, anorexia)`.
+    pub fn describe(&self, key: &CellKey) -> String {
+        let names: Vec<&str> = self
+            .bk
+            .attributes()
+            .iter()
+            .zip(&key.0)
+            .map(|(attr, &l)| attr.label_name(l).unwrap_or("?"))
+            .collect();
+        format!("({})", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzy::bk::BackgroundKnowledge;
+    use relation::table::Table;
+    use std::collections::BTreeMap;
+
+    fn mapper() -> Mapper {
+        Mapper::bind(BackgroundKnowledge::medical_cbk(), &Schema::patient()).unwrap()
+    }
+
+    /// Reproduces the paper's Table 2 from Table 1 exactly.
+    #[test]
+    fn paper_table2() {
+        let m = mapper();
+        let table = Table::patient_table1();
+        let (mapped, skipped) = m.map_table(&table);
+        assert_eq!(skipped, 0);
+
+        // Aggregate weights per (age-label, bmi-label) as Table 2 does
+        // (it shows only the age and bmi dimensions).
+        let bk = m.bk();
+        let age_i = bk.attribute_index("age").unwrap();
+        let bmi_i = bk.attribute_index("bmi").unwrap();
+        let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+        for cells in &mapped {
+            for c in cells {
+                let age = bk.attribute_at(age_i).unwrap().label_name(c.key.0[age_i]).unwrap();
+                let bmi = bk.attribute_at(bmi_i).unwrap().label_name(c.key.0[bmi_i]).unwrap();
+                *counts.entry((age.to_string(), bmi.to_string())).or_insert(0.0) += c.weight;
+            }
+        }
+        assert_eq!(counts.len(), 3, "exactly cells c1, c2, c3: {counts:?}");
+        let get = |a: &str, b: &str| counts[&(a.to_string(), b.to_string())];
+        assert!((get("young", "underweight") - 2.0).abs() < 1e-9, "c1 count 2");
+        assert!((get("young", "normal") - 0.7).abs() < 1e-9, "c2 count 0.7");
+        assert!((get("adult", "normal") - 0.3).abs() < 1e-9, "c3 count 0.3");
+    }
+
+    #[test]
+    fn raw_grades_annotate_cells() {
+        let m = mapper();
+        let table = Table::patient_table1();
+        // Tuple t2 (age 20): its (adult, normal) cell carries raw grade
+        // 0.3 on age — the paper's "0.3/adult".
+        let t2 = table.get(relation::tuple::TupleId(2)).unwrap();
+        let cells = m.map_record(&t2.values).unwrap();
+        let bk = m.bk();
+        let age_i = bk.attribute_index("age").unwrap();
+        let adult = bk.attribute_at(age_i).unwrap().label_id("adult").unwrap();
+        let adult_cell = cells.iter().find(|c| c.key.0[age_i] == adult).unwrap();
+        assert!((adult_cell.grades[age_i] - 0.3).abs() < 1e-9);
+        assert!((adult_cell.weight - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_is_conserved_per_record() {
+        let m = mapper();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let dist = relation::generator::PatientDistributions::default();
+        for _ in 0..100 {
+            let row = relation::generator::random_patient(&mut rng, &dist);
+            let cells = m.map_record(&row).unwrap();
+            let total: f64 = cells.iter().map(|c| c.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "mass {total} for {row:?}");
+        }
+    }
+
+    #[test]
+    fn null_values_are_unmappable() {
+        let m = mapper();
+        let row = vec![Value::Null, Value::text("female"), Value::Float(20.0), Value::text("malaria")];
+        assert!(matches!(m.map_record(&row), Err(SummaryError::Unmappable { .. })));
+    }
+
+    #[test]
+    fn unknown_disease_maps_to_taxonomy_root() {
+        let m = mapper();
+        let row =
+            vec![Value::Int(30), Value::text("male"), Value::Float(22.0), Value::text("gout")];
+        let cells = m.map_record(&row).unwrap();
+        let bk = m.bk();
+        let dis_i = bk.attribute_index("disease").unwrap();
+        for c in &cells {
+            assert_eq!(
+                bk.attribute_at(dis_i).unwrap().label_name(c.key.0[dis_i]).unwrap(),
+                "any_disease"
+            );
+        }
+    }
+
+    #[test]
+    fn bind_rejects_missing_and_mismatched_columns() {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let schema = Schema::new(vec![
+            relation::schema::Attribute::new("age", relation::schema::AttrType::Int),
+        ])
+        .unwrap();
+        assert!(matches!(
+            Mapper::bind(bk.clone(), &schema),
+            Err(SummaryError::MissingColumn(_))
+        ));
+
+        let schema = Schema::new(vec![
+            relation::schema::Attribute::new("age", relation::schema::AttrType::Text),
+            relation::schema::Attribute::new("sex", relation::schema::AttrType::Text),
+            relation::schema::Attribute::new("bmi", relation::schema::AttrType::Float),
+            relation::schema::Attribute::new("disease", relation::schema::AttrType::Text),
+        ])
+        .unwrap();
+        assert!(matches!(
+            Mapper::bind(bk, &schema),
+            Err(SummaryError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn describe_renders_label_names() {
+        let m = mapper();
+        let table = Table::patient_table1();
+        let t1 = table.get(relation::tuple::TupleId(1)).unwrap();
+        let cells = m.map_record(&t1.values).unwrap();
+        let s = m.describe(&cells[0].key);
+        assert!(s.contains("young") && s.contains("underweight") && s.contains("anorexia"), "{s}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Querying summaries (§5 of the paper; Voglozin et al. FQAS 2004 \[31\]).
+//!
+//! A selection query is **reformulated** into descriptors of the
+//! Background Knowledge ([`proposition`]), **evaluated** against a summary
+//! hierarchy by valuating the resulting logical proposition and selecting
+//! the most abstract satisfying summaries `Z_Q` ([`selection`]), and then
+//! used two ways:
+//!
+//! * **peer localization** — `P_Q = ∪_{z ∈ Z_Q} P_z` ([`relevant_sources`]),
+//! * **approximate answering** — aggregate `Z_Q` into interpretation
+//!   classes and union the descriptors of the selection list
+//!   ([`approx`]): *"all female patients diagnosed with anorexia and
+//!   having an underweight or normal BMI are young girls."*
+
+pub mod approx;
+pub mod proposition;
+pub mod selection;
+
+use crate::cell::SourceId;
+use crate::hierarchy::SummaryTree;
+use proposition::Proposition;
+use selection::select_most_abstract;
+
+/// Peer localization (§5.2.1): the sources owning data described by any
+/// selected summary — `P_Q`, sorted and deduplicated.
+pub fn relevant_sources(tree: &SummaryTree, prop: &Proposition) -> Vec<SourceId> {
+    let mut out: Vec<SourceId> = Vec::new();
+    for z in select_most_abstract(tree, prop) {
+        out.extend(tree.peer_extent(z));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{incorporate_cell, EngineConfig};
+    use crate::cell::CellKey;
+    use fuzzy::descriptor::{DescriptorSet, LabelId};
+    use proposition::Clause;
+
+    fn key(labels: &[u16]) -> CellKey {
+        CellKey(labels.iter().map(|&l| LabelId(l)).collect())
+    }
+
+    #[test]
+    fn relevant_sources_unions_extents() {
+        let mut t = SummaryTree::new("bk", vec![3, 3]);
+        let cfg = EngineConfig::default();
+        // Source 1 & 2 own (0,0); source 3 owns (2,2).
+        incorporate_cell(&mut t, &cfg, &key(&[0, 0]), SourceId(1), 1.0, &[1.0, 1.0], None);
+        incorporate_cell(&mut t, &cfg, &key(&[0, 0]), SourceId(2), 1.0, &[1.0, 1.0], None);
+        incorporate_cell(&mut t, &cfg, &key(&[2, 2]), SourceId(3), 1.0, &[1.0, 1.0], None);
+
+        // Query: attr0 ∈ {0}.
+        let prop = Proposition {
+            clauses: vec![Clause { attr: 0, set: DescriptorSet::singleton(LabelId(0)) }],
+        };
+        assert_eq!(relevant_sources(&t, &prop), vec![SourceId(1), SourceId(2)]);
+
+        // Query matching everything returns all three.
+        let all = Proposition {
+            clauses: vec![Clause { attr: 0, set: DescriptorSet::all(3) }],
+        };
+        assert_eq!(relevant_sources(&t, &all).len(), 3);
+
+        // Unsatisfiable query returns nobody.
+        let none = Proposition {
+            clauses: vec![Clause { attr: 1, set: DescriptorSet::singleton(LabelId(1)) }],
+        };
+        assert!(relevant_sources(&t, &none).is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Query reformulation (§5.1): selection predicates → a conjunctive
+//! proposition over BK descriptors.
+//!
+//! The paper's example: `select age from Patient where sex = 'female' and
+//! BMI < 19 and disease = 'anorexia'` becomes
+//! `P = (female) AND (underweight OR normal) AND (anorexia)` — each
+//! predicate turns into one clause whose literals are the descriptors
+//! compatible with it. The extension can introduce false positives (a
+//! BMI of 20 is partly `normal`) but never false negatives:
+//! `QS ⊆ QS*`.
+
+use fuzzy::bk::{AttributeVocabulary, BackgroundKnowledge};
+use fuzzy::descriptor::DescriptorSet;
+use relation::predicate::{CompareOp, Predicate};
+use relation::query::SelectQuery;
+
+use crate::error::SummaryError;
+
+/// One clause: the descriptors of attribute `attr` compatible with a
+/// predicate (an OR over literals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// BK attribute index.
+    pub attr: usize,
+    /// Compatible labels.
+    pub set: DescriptorSet,
+}
+
+/// A conjunction of clauses (the proposition `P` of §5.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Proposition {
+    /// Clauses, at most one per attribute (conjuncts on the same
+    /// attribute are intersected during reformulation).
+    pub clauses: Vec<Clause>,
+}
+
+impl Proposition {
+    /// True when some clause admits no descriptor at all (the query can
+    /// match nothing).
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.clauses.iter().any(|c| c.set.is_empty())
+    }
+}
+
+/// A query reformulated against a BK: the routable proposition plus the
+/// BK indices of the selection list (for approximate answering).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryQuery {
+    /// The conjunctive proposition over descriptors.
+    pub proposition: Proposition,
+    /// BK attribute indices of the projected attributes.
+    pub selection_attrs: Vec<usize>,
+}
+
+/// Reformulates one predicate into a descriptor set.
+fn reformulate_predicate(
+    vocab: &AttributeVocabulary,
+    pred: &Predicate,
+) -> Result<DescriptorSet, SummaryError> {
+    let unmappable = || SummaryError::Unmappable {
+        attribute: pred.attribute.clone(),
+        value: pred.value.to_string(),
+    };
+    match vocab {
+        AttributeVocabulary::Numeric(_) => {
+            let v = pred.value.as_f64().ok_or_else(unmappable)?;
+            let set = match pred.op {
+                CompareOp::Eq => vocab.labels_for_range(v, v),
+                CompareOp::Lt | CompareOp::Le => {
+                    vocab.labels_for_range(f64::NEG_INFINITY, v)
+                }
+                CompareOp::Gt | CompareOp::Ge => {
+                    vocab.labels_for_range(v, f64::INFINITY)
+                }
+                // `≠ v` excludes no label: every fuzzy region around v
+                // also covers values different from v.
+                CompareOp::Ne => DescriptorSet::all(vocab.label_count()),
+            };
+            Ok(set)
+        }
+        AttributeVocabulary::Categorical(tax) => {
+            let term = pred.value.as_str().ok_or_else(unmappable)?;
+            match pred.op {
+                CompareOp::Eq => vocab.labels_for_term(term).map_err(|_| unmappable()),
+                CompareOp::Ne => {
+                    // Exclude the term and its specializations; ancestors
+                    // stay (they may describe non-matching tuples).
+                    let excluded = vocab.labels_for_term(term).map_err(|_| unmappable())?;
+                    Ok(DescriptorSet::all(vocab.label_count()).difference(excluded))
+                }
+                _ => {
+                    // Ordered comparisons are meaningless on taxonomies;
+                    // fall back to "everything" (never a false negative).
+                    let _ = tax;
+                    Ok(DescriptorSet::all(vocab.label_count()))
+                }
+            }
+        }
+    }
+}
+
+/// Reformulates a [`SelectQuery`] against a BK (§5.1's `Q → Q*`).
+///
+/// Predicates on attributes outside the BK are **not routable**; per the
+/// no-false-negative rule they are dropped from the proposition (the
+/// exact evaluation at data-holding peers still applies them).
+pub fn reformulate(
+    query: &SelectQuery,
+    bk: &BackgroundKnowledge,
+) -> Result<SummaryQuery, SummaryError> {
+    let mut clauses: Vec<Clause> = Vec::new();
+    for pred in &query.predicates {
+        let Some(attr) = bk.attribute_index(&pred.attribute) else {
+            continue; // unroutable predicate: keep recall at 1
+        };
+        let vocab = bk.attribute_at(attr).expect("index from lookup");
+        let set = reformulate_predicate(vocab, pred)?;
+        match clauses.iter_mut().find(|c| c.attr == attr) {
+            Some(c) => c.set = c.set.intersection(set),
+            None => clauses.push(Clause { attr, set }),
+        }
+    }
+    let selection_attrs = query
+        .projection
+        .iter()
+        .filter_map(|name| bk.attribute_index(name))
+        .collect();
+    Ok(SummaryQuery { proposition: Proposition { clauses }, selection_attrs })
+}
+
+impl SummaryQuery {
+    /// Renders the proposition with label names, e.g.
+    /// `(female) AND (underweight OR normal) AND (anorexia)`.
+    pub fn render(&self, bk: &BackgroundKnowledge) -> String {
+        let mut parts = Vec::new();
+        for c in &self.proposition.clauses {
+            let vocab = bk.attribute_at(c.attr).expect("clause attr in bk");
+            let names: Vec<&str> =
+                c.set.iter().filter_map(|l| vocab.label_name(l)).collect();
+            parts.push(format!("({})", names.join(" OR ")));
+        }
+        parts.join(" AND ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::predicate::Predicate;
+
+    fn bk() -> BackgroundKnowledge {
+        BackgroundKnowledge::medical_cbk()
+    }
+
+    /// §5.1: the paper's Q → Q* reformulation.
+    #[test]
+    fn paper_example_reformulation() {
+        let q = SelectQuery::paper_example();
+        let sq = reformulate(&q, &bk()).unwrap();
+        let rendered = sq.render(&bk());
+        assert!(rendered.contains("(female)"), "{rendered}");
+        assert!(rendered.contains("(underweight OR normal)"), "{rendered}");
+        assert!(rendered.contains("(anorexia)"), "{rendered}");
+        // Selection list: age.
+        assert_eq!(sq.selection_attrs, vec![0]);
+        assert!(!sq.proposition.is_unsatisfiable());
+    }
+
+    #[test]
+    fn numeric_operators() {
+        let b = bk();
+        let bmi = |op, v: f64| {
+            let q = SelectQuery::new(vec![], vec![Predicate::new("bmi", op, v)]);
+            reformulate(&q, &b).unwrap().proposition.clauses[0].set
+        };
+        let vocab = b.attribute("bmi").unwrap();
+        let under = vocab.label_id("underweight").unwrap();
+        let normal = vocab.label_id("normal").unwrap();
+        let over = vocab.label_id("overweight").unwrap();
+
+        let lt19 = bmi(CompareOp::Lt, 19.0);
+        assert!(lt19.contains(under) && lt19.contains(normal) && !lt19.contains(over));
+
+        let gt25 = bmi(CompareOp::Gt, 25.0);
+        assert!(!gt25.contains(under) && gt25.contains(normal) && gt25.contains(over));
+
+        let eq16 = bmi(CompareOp::Eq, 16.0);
+        assert!(eq16.contains(under) && !eq16.contains(normal));
+
+        let ne = bmi(CompareOp::Ne, 20.0);
+        assert_eq!(ne.len(), 3, "numeric ≠ keeps every label");
+    }
+
+    #[test]
+    fn taxonomy_equality_expands_down() {
+        let b = bk();
+        let q = SelectQuery::new(vec![], vec![Predicate::eq("disease", "infectious")]);
+        let sq = reformulate(&q, &b).unwrap();
+        let vocab = b.attribute("disease").unwrap();
+        let set = sq.proposition.clauses[0].set;
+        assert!(set.contains(vocab.label_id("malaria").unwrap()));
+        assert!(set.contains(vocab.label_id("influenza").unwrap()));
+        assert!(!set.contains(vocab.label_id("anorexia").unwrap()));
+    }
+
+    #[test]
+    fn taxonomy_ne_keeps_ancestors() {
+        let b = bk();
+        let q = SelectQuery::new(
+            vec![],
+            vec![Predicate::new("disease", CompareOp::Ne, "malaria")],
+        );
+        let sq = reformulate(&q, &b).unwrap();
+        let vocab = b.attribute("disease").unwrap();
+        let set = sq.proposition.clauses[0].set;
+        assert!(!set.contains(vocab.label_id("malaria").unwrap()));
+        assert!(set.contains(vocab.label_id("tuberculosis").unwrap()));
+        assert!(set.contains(vocab.label_id("infectious").unwrap()), "ancestor kept");
+        assert!(set.contains(vocab.label_id("any_disease").unwrap()), "root kept");
+    }
+
+    #[test]
+    fn conjuncts_on_same_attribute_intersect() {
+        let b = bk();
+        let q = SelectQuery::new(
+            vec![],
+            vec![Predicate::new("bmi", CompareOp::Ge, 18.0), Predicate::lt("bmi", 25.0)],
+        );
+        let sq = reformulate(&q, &b).unwrap();
+        assert_eq!(sq.proposition.clauses.len(), 1);
+        let vocab = b.attribute("bmi").unwrap();
+        let set = sq.proposition.clauses[0].set;
+        assert!(set.contains(vocab.label_id("normal").unwrap()));
+        // 18 touches underweight's support and 25 touches overweight's, so
+        // the fuzzy extension keeps them — false positives, never false
+        // negatives.
+        assert!(set.contains(vocab.label_id("underweight").unwrap()));
+    }
+
+    #[test]
+    fn contradictory_conjuncts_are_unsatisfiable() {
+        let b = bk();
+        let q = SelectQuery::new(
+            vec![],
+            vec![Predicate::lt("bmi", 13.0), Predicate::new("bmi", CompareOp::Gt, 40.0)],
+        );
+        let sq = reformulate(&q, &b).unwrap();
+        assert!(sq.proposition.is_unsatisfiable());
+    }
+
+    #[test]
+    fn unknown_attribute_predicates_are_dropped() {
+        let b = bk();
+        let q = SelectQuery::new(
+            vec!["age".into()],
+            vec![Predicate::eq("hospital", "nantes"), Predicate::eq("sex", "female")],
+        );
+        let sq = reformulate(&q, &b).unwrap();
+        assert_eq!(sq.proposition.clauses.len(), 1, "hospital is unroutable");
+    }
+
+    #[test]
+    fn unknown_term_errors() {
+        let b = bk();
+        let q = SelectQuery::new(vec![], vec![Predicate::eq("disease", "gout")]);
+        assert!(matches!(reformulate(&q, &b), Err(SummaryError::Unmappable { .. })));
+    }
+
+    #[test]
+    fn non_numeric_constant_on_numeric_attr_errors() {
+        let b = bk();
+        let q = SelectQuery::new(vec![], vec![Predicate::eq("bmi", "heavy")]);
+        assert!(matches!(reformulate(&q, &b), Err(SummaryError::Unmappable { .. })));
+    }
+}

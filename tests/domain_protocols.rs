@@ -1,0 +1,142 @@
+//! Integration tests of the maintenance protocols (§4.2–§4.3) through
+//! the event-driven domain simulation.
+
+use p2psim::time::SimTime;
+use summary_p2p::config::SimConfig;
+use summary_p2p::domain::DomainSim;
+use summary_p2p::routing::RoutingPolicy;
+
+fn cfg(n: usize, alpha: f64, seed: u64) -> SimConfig {
+    let mut c = SimConfig::paper_defaults(n, alpha);
+    c.horizon = SimTime::from_hours(6);
+    c.query_count = 40;
+    c.records_per_peer = 12;
+    c.seed = seed;
+    c
+}
+
+#[test]
+fn reconciliation_frequency_scales_inversely_with_alpha() {
+    let mut counts = Vec::new();
+    for alpha in [0.1, 0.3, 0.6, 0.9] {
+        let report = DomainSim::new(cfg(50, alpha, 1)).unwrap().run();
+        counts.push((alpha, report.reconciliations));
+    }
+    // Monotone non-increasing in alpha (allow equality at the tail).
+    for w in counts.windows(2) {
+        assert!(
+            w[0].1 >= w[1].1,
+            "alpha {} had {} reconciliations, alpha {} had {}",
+            w[0].0,
+            w[0].1,
+            w[1].0,
+            w[1].1
+        );
+    }
+    assert!(counts[0].1 > counts[3].1, "strictly more at the extremes");
+}
+
+#[test]
+fn push_traffic_is_alpha_independent() {
+    // Eq. (1): the 1/L push term does not depend on alpha.
+    let a = DomainSim::new(cfg(50, 0.1, 2)).unwrap().run();
+    let b = DomainSim::new(cfg(50, 0.9, 2)).unwrap().run();
+    assert_eq!(a.push_messages, b.push_messages);
+}
+
+#[test]
+fn no_churn_no_drift_means_no_maintenance() {
+    let mut c = cfg(30, 0.3, 3);
+    // Summaries that (statistically) never expire within the horizon and
+    // no failures: push traffic only from the few long-tail expiries.
+    c.lifetime = p2psim::churn::LifetimeDistribution::Exponential { mean_s: 1e9 };
+    c.mean_downtime_s = 1e9;
+    c.failure_fraction = 0.0;
+    let report = DomainSim::new(c).unwrap().run();
+    assert_eq!(report.push_messages, 0, "nothing drifted, nothing left");
+    assert_eq!(report.reconciliations, 0);
+    // And queries are perfect: the GS exactly describes the domain.
+    assert!((report.mean_recall() - 1.0).abs() < 1e-9);
+    assert!((report.mean_precision() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn silent_failures_poison_until_reconciliation() {
+    // All departures are failures: no pushes from leaves, so staleness
+    // is invisible to the CL and real FPs appear.
+    let mut with_failures = cfg(40, 0.3, 4);
+    with_failures.failure_fraction = 1.0;
+    let rf = DomainSim::new(with_failures).unwrap().run();
+
+    let mut graceful = cfg(40, 0.3, 4);
+    graceful.failure_fraction = 0.0;
+    let rg = DomainSim::new(graceful).unwrap().run();
+
+    // Graceful leaves trigger pushes (leave notifications), failures
+    // don't.
+    assert!(rg.push_messages > rf.push_messages);
+    // Failures leave poison: precision with failures must not beat the
+    // graceful world.
+    assert!(rf.mean_precision() <= rg.mean_precision() + 0.05);
+}
+
+#[test]
+fn extended_policy_maximizes_recall() {
+    let mut base = cfg(40, 0.6, 5);
+    base.policy = RoutingPolicy::Extended;
+    let ext = DomainSim::new(base).unwrap().run();
+
+    let mut fresh = cfg(40, 0.6, 5);
+    fresh.policy = RoutingPolicy::FreshOnly;
+    let fr = DomainSim::new(fresh).unwrap().run();
+
+    assert!(
+        ext.mean_recall() >= fr.mean_recall(),
+        "extended {} vs fresh-only {}",
+        ext.mean_recall(),
+        fr.mean_recall()
+    );
+    assert!(
+        fr.mean_precision() >= ext.mean_precision(),
+        "fresh-only {} vs extended {}",
+        fr.mean_precision(),
+        ext.mean_precision()
+    );
+}
+
+#[test]
+fn update_traffic_grows_linearly_with_domain_size() {
+    let small = DomainSim::new(cfg(20, 0.3, 6)).unwrap().run();
+    let large = DomainSim::new(cfg(80, 0.3, 6)).unwrap().run();
+    let ratio = large.update_messages() as f64 / small.update_messages().max(1) as f64;
+    // 4x the peers: traffic should grow roughly 2x–8x, not explode
+    // quadratically (Figure 6's "messages per node remains almost the
+    // same").
+    assert!((1.5..=10.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn gs_stays_well_formed_through_the_whole_run() {
+    let sim = DomainSim::new(cfg(30, 0.2, 7)).unwrap();
+    sim.gs().check_invariants();
+    let report = sim.run();
+    assert!(report.gs_cells > 0);
+    assert!(report.gs_bytes > 0);
+}
+
+#[test]
+fn seeds_change_outcomes_but_not_validity() {
+    let a = DomainSim::new(cfg(30, 0.3, 100)).unwrap().run();
+    let b = DomainSim::new(cfg(30, 0.3, 101)).unwrap().run();
+    // Different seeds: almost surely different traffic...
+    assert_ne!(
+        (a.push_messages, a.reconciliations),
+        (b.push_messages, b.reconciliations)
+    );
+    // ...but all invariants hold for both.
+    for r in [a, b] {
+        assert!((0.0..=1.0).contains(&r.worst_stale_fraction()));
+        assert!((0.0..=1.0).contains(&r.mean_recall()));
+        assert!((0.0..=1.0).contains(&r.mean_precision()));
+    }
+}

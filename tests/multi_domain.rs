@@ -1,0 +1,124 @@
+//! Integration tests of multi-domain construction (§4.1) and
+//! summary-peer dynamicity (§4.3) over generated power-law topologies.
+
+use p2psim::network::{MessageClass, Network};
+use p2psim::topology::{Graph, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use summary_p2p::construction::{construct_domains, elect_superpeers, handle_sp_departure};
+
+fn network(n: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = TopologyConfig { nodes: n, m: 2, ..Default::default() };
+    Network::new(Graph::barabasi_albert(&cfg, &mut rng))
+}
+
+#[test]
+fn construction_covers_the_network() {
+    let mut net = network(500, 1);
+    let sps = elect_superpeers(&net, 10);
+    let domains = construct_domains(&mut net, &sps, 2);
+    let assignable = net.len() - sps.len();
+    assert!(
+        domains.assigned_count() as f64 > 0.95 * assignable as f64,
+        "coverage {}/{assignable}",
+        domains.assigned_count()
+    );
+    // Every partner's SP is one of the elected superpeers.
+    for (i, a) in domains.assignment.iter().enumerate() {
+        if let Some(sp) = a {
+            assert!(sps.contains(sp), "peer {i} assigned to non-SP {sp:?}");
+        }
+    }
+}
+
+#[test]
+fn broadcast_ttl_bounds_direct_assignments() {
+    // With TTL 1, only direct neighbors of SPs join via broadcast; the
+    // selective-walk fallback still catches the rest.
+    let mut ttl1 = network(300, 2);
+    let sps1 = elect_superpeers(&ttl1, 5);
+    let d1 = construct_domains(&mut ttl1, &sps1, 1);
+    let broadcast_hits_ttl1 =
+        d1.distance.iter().filter(|&&d| d != u64::MAX && d != u64::MAX - 1).count();
+
+    let mut ttl3 = network(300, 2);
+    let sps3 = elect_superpeers(&ttl3, 5);
+    let d3 = construct_domains(&mut ttl3, &sps3, 3);
+    let broadcast_hits_ttl3 =
+        d3.distance.iter().filter(|&&d| d != u64::MAX && d != u64::MAX - 1).count();
+
+    assert!(
+        broadcast_hits_ttl3 > broadcast_hits_ttl1,
+        "larger TTL reaches more peers directly: {broadcast_hits_ttl3} vs {broadcast_hits_ttl1}"
+    );
+}
+
+#[test]
+fn construction_message_cost_scales_with_ttl() {
+    let mut a = network(400, 3);
+    let sps_a = elect_superpeers(&a, 8);
+    construct_domains(&mut a, &sps_a, 1);
+    let cost_ttl1 = a.sent(MessageClass::Construction);
+
+    let mut b = network(400, 3);
+    let sps_b = elect_superpeers(&b, 8);
+    construct_domains(&mut b, &sps_b, 3);
+    let cost_ttl3 = b.sent(MessageClass::Construction);
+
+    assert!(cost_ttl3 > cost_ttl1, "{cost_ttl3} vs {cost_ttl1}");
+}
+
+#[test]
+fn domains_partition_the_assigned_peers() {
+    let mut net = network(350, 4);
+    let sps = elect_superpeers(&net, 7);
+    let domains = construct_domains(&mut net, &sps, 2);
+    let mut seen = vec![false; net.len()];
+    for &sp in &sps {
+        for p in domains.members(sp) {
+            assert!(!seen[p.index()], "peer {p:?} in two domains");
+            seen[p.index()] = true;
+        }
+    }
+}
+
+#[test]
+fn sequential_sp_departures_drain_gracefully() {
+    let mut net = network(300, 5);
+    let sps = elect_superpeers(&net, 6);
+    let mut domains = construct_domains(&mut net, &sps, 2);
+
+    // Take down SPs one by one; partners keep re-homing to survivors.
+    for &sp in sps.iter().take(4) {
+        handle_sp_departure(&mut net, &mut domains, sp, true);
+        // Remaining assignments only point at surviving SPs.
+        for a in domains.assignment.iter().flatten() {
+            assert!(domains.superpeers.contains(a));
+            assert!(net.is_up(*a));
+        }
+    }
+    assert_eq!(domains.superpeers.len(), 2);
+    assert!(domains.assigned_count() > 0, "survivors still hold domains");
+}
+
+#[test]
+fn failed_vs_graceful_departure_cost_profile() {
+    let mut g = network(250, 6);
+    let sps_g = elect_superpeers(&g, 5);
+    let mut dom_g = construct_domains(&mut g, &sps_g, 2);
+    g.reset_counters();
+    handle_sp_departure(&mut g, &mut dom_g, sps_g[0], true);
+    let release_msgs = g.sent(MessageClass::Control);
+
+    let mut f = network(250, 6);
+    let sps_f = elect_superpeers(&f, 5);
+    let mut dom_f = construct_domains(&mut f, &sps_f, 2);
+    f.reset_counters();
+    handle_sp_departure(&mut f, &mut dom_f, sps_f[0], false);
+    let probe_msgs = f.sent(MessageClass::Push);
+
+    // Same partner count on both sides of the comparison.
+    assert_eq!(release_msgs, probe_msgs, "one notification per partner either way");
+    assert_eq!(f.sent(MessageClass::Control), 0);
+}
