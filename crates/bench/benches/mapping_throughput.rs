@@ -18,8 +18,9 @@ fn bench_medical_mapping(c: &mut Criterion) {
         Mapper::bind(BackgroundKnowledge::medical_cbk(), &Schema::patient()).expect("binds");
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let dist = PatientDistributions::default();
-    let rows: Vec<Vec<relation::value::Value>> =
-        (0..1_000).map(|_| random_patient(&mut rng, &dist)).collect();
+    let rows: Vec<Vec<relation::value::Value>> = (0..1_000)
+        .map(|_| random_patient(&mut rng, &dist))
+        .collect();
 
     let mut group = c.benchmark_group("mapping");
     group.throughput(Throughput::Elements(rows.len() as u64));
@@ -64,9 +65,7 @@ fn bench_overlap_sweep(c: &mut Criterion) {
             .map(|_| {
                 (0..3)
                     .map(|_| {
-                        relation::value::Value::Float(
-                            rand::Rng::gen_range(&mut rng, 0.0..100.0),
-                        )
+                        relation::value::Value::Float(rand::Rng::gen_range(&mut rng, 0.0..100.0))
                     })
                     .collect()
             })

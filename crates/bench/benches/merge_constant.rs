@@ -38,18 +38,13 @@ fn bench_merge_vs_tuples(c: &mut Criterion) {
     let target_base = summary_of(1_000, 99, 2);
     for &n in &[100usize, 1_000, 10_000] {
         let source = summary_of(n, 7, 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &source,
-            |b, source| {
-                b.iter(|| {
-                    let mut target = target_base.clone();
-                    merge_into(&mut target, source, &EngineConfig::default())
-                        .expect("same CBK");
-                    target.leaf_count()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &source, |b, source| {
+            b.iter(|| {
+                let mut target = target_base.clone();
+                merge_into(&mut target, source, &EngineConfig::default()).expect("same CBK");
+                target.leaf_count()
+            })
+        });
     }
     group.finish();
 }
@@ -75,9 +70,13 @@ fn bench_merge_vs_leaves(c: &mut Criterion) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let table = relation::generator::numeric_table(&mut rng, 2_000, 3, (0.0, 100.0));
         let build = |source: u32| {
-            let mut e =
-                SaintEtiQEngine::new(bk.clone(), &schema, EngineConfig::default(), SourceId(source))
-                    .expect("BK binds");
+            let mut e = SaintEtiQEngine::new(
+                bk.clone(),
+                &schema,
+                EngineConfig::default(),
+                SourceId(source),
+            )
+            .expect("BK binds");
             e.summarize_table(&table);
             e.into_tree()
         };

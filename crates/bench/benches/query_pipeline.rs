@@ -26,8 +26,7 @@ fn global_summary(peers: usize, seed: u64) -> SummaryTree {
     for p in 0..peers {
         let data = generate_peer_data(&mut rng, p as u32, &bk, &templates, 0.1, 24);
         let tree = saintetiq::wire::decode(&data.summary).expect("decodes");
-        saintetiq::merge::merge_into(&mut gs, &tree, &EngineConfig::default())
-            .expect("same CBK");
+        saintetiq::merge::merge_into(&mut gs, &tree, &EngineConfig::default()).expect("same CBK");
     }
     gs
 }
@@ -82,7 +81,11 @@ fn bench_routing_policies(c: &mut Criterion) {
     let gs = global_summary(1_000, 6);
     let mut cl = CooperationList::new();
     for p in 0..1_000u32 {
-        let f = if p % 5 == 0 { Freshness::NeedsRefresh } else { Freshness::Fresh };
+        let f = if p % 5 == 0 {
+            Freshness::NeedsRefresh
+        } else {
+            Freshness::Fresh
+        };
         cl.add_partner(NodeId(p), f);
     }
     let mut group = c.benchmark_group("routing_policy");

@@ -7,8 +7,8 @@
 //! summary itself. Total merge work is identical — the ablation shows
 //! the *SP-side* work differs, which is the point of the ring.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fuzzy::bk::BackgroundKnowledge;
 use rand::SeedableRng;
 use saintetiq::engine::EngineConfig;
@@ -40,8 +40,7 @@ fn bench_rebuild(c: &mut Criterion) {
                     let mut gs = SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
                     for s in summaries {
                         let tree = wire::decode(s).expect("decodes");
-                        merge_into(&mut gs, &tree, &EngineConfig::default())
-                            .expect("same CBK");
+                        merge_into(&mut gs, &tree, &EngineConfig::default()).expect("same CBK");
                     }
                     gs.leaf_count()
                 })

@@ -16,7 +16,9 @@ use saintetiq::engine::{EngineConfig, SaintEtiQEngine};
 
 fn numeric_schema(arity: usize) -> Schema {
     Schema::new(
-        (0..arity).map(|i| Attribute::new(format!("attr{i}"), AttrType::Float)).collect(),
+        (0..arity)
+            .map(|i| Attribute::new(format!("attr{i}"), AttrType::Float))
+            .collect(),
     )
     .expect("unique names")
 }
@@ -84,18 +86,17 @@ fn bench_operators(c: &mut Criterion) {
         ("full", EngineConfig::default()),
         (
             "no_restructure",
-            EngineConfig { enable_merge: false, enable_split: false, ..Default::default() },
+            EngineConfig {
+                enable_merge: false,
+                enable_split: false,
+                ..Default::default()
+            },
         ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut e = SaintEtiQEngine::new(
-                    bk.clone(),
-                    &numeric_schema(3),
-                    cfg,
-                    SourceId(0),
-                )
-                .expect("BK binds");
+                let mut e = SaintEtiQEngine::new(bk.clone(), &numeric_schema(3), cfg, SourceId(0))
+                    .expect("BK binds");
                 e.summarize_table(&table);
                 e.tree().live_node_count()
             })

@@ -35,9 +35,17 @@ fn random_walk_hops(
 fn main() {
     let cli = Cli::parse();
     let mut rows = Vec::new();
-    for &n in &(if cli.quick { vec![200usize, 800] } else { vec![200usize, 800, 3000] }) {
+    for &n in &(if cli.quick {
+        vec![200usize, 800]
+    } else {
+        vec![200usize, 800, 3000]
+    }) {
         let mut rng = StdRng::seed_from_u64(cli.seed);
-        let topo = TopologyConfig { nodes: n, m: 2, ..Default::default() };
+        let topo = TopologyConfig {
+            nodes: n,
+            m: 2,
+            ..Default::default()
+        };
         let net = Network::new(Graph::barabasi_albert(&topo, &mut rng));
         let sps = elect_superpeers(&net, (n / 60).max(2));
         let max_hops = 64u32;
@@ -71,8 +79,13 @@ fn main() {
         ]);
     }
 
-    let headers =
-        ["n", "selective_hops", "selective_found", "random_hops", "random_found"];
+    let headers = [
+        "n",
+        "selective_hops",
+        "selective_found",
+        "random_hops",
+        "random_found",
+    ];
     println!("Ablation: selective vs random walk to find a summary peer\n");
     println!("{}", render_table(&headers, &rows));
     println!("CSV:\n{}", render_csv(&headers, &rows));

@@ -55,7 +55,9 @@ fn dominant_label(bk: &BackgroundKnowledge, ages: &[f64]) -> String {
     let mut weights = std::collections::BTreeMap::<String, f64>::new();
     for &a in ages {
         for (l, g) in vocab.fuzzify_numeric(a) {
-            *weights.entry(vocab.label_name(l).unwrap().to_string()).or_insert(0.0) += g;
+            *weights
+                .entry(vocab.label_name(l).unwrap().to_string())
+                .or_insert(0.0) += g;
         }
     }
     weights
@@ -68,16 +70,21 @@ fn dominant_label(bk: &BackgroundKnowledge, ages: &[f64]) -> String {
 fn main() {
     let cli = Cli::parse();
     let bk = BackgroundKnowledge::medical_cbk();
-    let query =
-        SelectQuery::new(vec!["age".into()], vec![Predicate::eq("disease", "malaria")]);
+    let query = SelectQuery::new(
+        vec!["age".into()],
+        vec![Predicate::eq("disease", "malaria")],
+    );
     let sq = reformulate(&query, &bk).expect("routable");
 
     let mut rows = Vec::new();
     let mut agreements = 0usize;
     let mut trials = 0usize;
-    for &(age_mean, label) in
-        &[(10.0, "young"), (40.0, "adult"), (80.0, "old"), (22.0, "young/adult")]
-    {
+    for &(age_mean, label) in &[
+        (10.0, "young"),
+        (40.0, "adult"),
+        (80.0, "old"),
+        (22.0, "young/adult"),
+    ] {
         for &cohort in &[5usize, 20, 100] {
             let mut rng = StdRng::seed_from_u64(cli.seed ^ (cohort as u64) ^ age_mean as u64);
             let table = cohort_table(&mut rng, cohort, 200, age_mean);
@@ -133,7 +140,14 @@ fn main() {
         }
     }
 
-    let headers = ["cohort_kind", "size", "exact_dominant", "approx_dominant", "weight_ratio", "agree"];
+    let headers = [
+        "cohort_kind",
+        "size",
+        "exact_dominant",
+        "approx_dominant",
+        "weight_ratio",
+        "agree",
+    ];
     println!("Approximate answering quality (age of malaria patients)\n");
     println!("{}", render_table(&headers, &rows));
     println!("CSV:\n{}", render_csv(&headers, &rows));

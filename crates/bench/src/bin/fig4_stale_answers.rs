@@ -20,7 +20,11 @@ fn main() {
     let mut base = SimConfig::paper_defaults(0, 0.3);
     base.seed = cli.seed;
 
-    eprintln!("fig4: sweeping {} sizes x {} alphas ...", sizes.len(), alphas.len());
+    eprintln!(
+        "fig4: sweeping {} sizes x {} alphas ...",
+        sizes.len(),
+        alphas.len()
+    );
     let rows = figure4(&sizes, &alphas, &base).expect("valid config");
 
     let table_rows: Vec<Vec<String>> = rows
@@ -36,14 +40,23 @@ fn main() {
             ]
         })
         .collect();
-    let headers =
-        ["n", "alpha", "stale_frac", "fp_component", "fn_component", "reconciliations"];
+    let headers = [
+        "n",
+        "alpha",
+        "stale_frac",
+        "fp_component",
+        "fn_component",
+        "reconciliations",
+    ];
     println!("Figure 4: fraction of stale answers (worst case) vs domain size\n");
     println!("{}", render_table(&headers, &table_rows));
     println!("CSV:\n{}", render_csv(&headers, &table_rows));
 
     // The paper's calibration point.
-    if let Some(r) = rows.iter().find(|r| r.n == 500 && (r.alpha - 0.3).abs() < 1e-9) {
+    if let Some(r) = rows
+        .iter()
+        .find(|r| r.n == 500 && (r.alpha - 0.3).abs() < 1e-9)
+    {
         println!(
             "paper check: n=500, alpha=0.3 -> stale fraction {:.3} (paper: ~0.11)",
             r.worst_stale

@@ -20,7 +20,10 @@ fn main() {
     let mut base = SimConfig::paper_defaults(0, 0.3);
     base.seed = cli.seed;
 
-    eprintln!("fig5: sweeping {} sizes (alpha = 0.3, fresh-only policy) ...", sizes.len());
+    eprintln!(
+        "fig5: sweeping {} sizes (alpha = 0.3, fresh-only policy) ...",
+        sizes.len()
+    );
     let real = figure5(&sizes, &base).expect("valid config");
     let worst = figure4(&sizes, &[0.3], &base).expect("valid config");
 
@@ -28,7 +31,11 @@ fn main() {
         .iter()
         .zip(&worst)
         .map(|(r, w)| {
-            let reduction = if r.real_fn > 0.0 { w.worst_stale / r.real_fn } else { f64::NAN };
+            let reduction = if r.real_fn > 0.0 {
+                w.worst_stale / r.real_fn
+            } else {
+                f64::NAN
+            };
             vec![
                 r.n.to_string(),
                 f4(r.real_fn),

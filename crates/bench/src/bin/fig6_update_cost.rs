@@ -34,8 +34,14 @@ fn main() {
             ]
         })
         .collect();
-    let headers =
-        ["n", "alpha", "update_msgs", "token_counted", "msgs_per_node_s", "reconciliations"];
+    let headers = [
+        "n",
+        "alpha",
+        "update_msgs",
+        "token_counted",
+        "msgs_per_node_s",
+        "reconciliations",
+    ];
     println!("Figure 6: update messages vs domain size\n");
     println!("{}", render_table(&headers, &table_rows));
     println!("CSV:\n{}", render_csv(&headers, &table_rows));

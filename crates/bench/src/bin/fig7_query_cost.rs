@@ -27,11 +27,14 @@ fn main() {
     let fp = {
         let mut cfg = base;
         cfg.horizon = p2psim::time::SimTime::from_hours(8);
-        let pts = figure4(&[if cli.quick { 100 } else { 500 }], &[0.3], &cfg)
-            .expect("valid config");
+        let pts =
+            figure4(&[if cli.quick { 100 } else { 500 }], &[0.3], &cfg).expect("valid config");
         pts[0].worst_stale
     };
-    eprintln!("fig7: using FP = {fp:.3} (paper: ~0.11); sweeping {} sizes ...", sizes.len());
+    eprintln!(
+        "fig7: using FP = {fp:.3} (paper: ~0.11); sweeping {} sizes ...",
+        sizes.len()
+    );
 
     let rows = figure7(&sizes, fp, &base, if cli.quick { 10 } else { 40 });
     let table_rows: Vec<Vec<String>> = rows
@@ -48,8 +51,15 @@ fn main() {
             ]
         })
         .collect();
-    let headers =
-        ["n", "centralized", "sq", "flooding", "flooding_raw", "flood_recall", "gain_vs_flood"];
+    let headers = [
+        "n",
+        "centralized",
+        "sq",
+        "flooding",
+        "flooding_raw",
+        "flood_recall",
+        "gain_vs_flood",
+    ];
     println!("Figure 7: query cost (messages) vs number of peers\n");
     println!("{}", render_table(&headers, &table_rows));
     println!("CSV:\n{}", render_csv(&headers, &table_rows));

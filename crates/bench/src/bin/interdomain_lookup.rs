@@ -19,7 +19,11 @@ fn main() {
     cfg.seed = cli.seed;
     cfg.records_per_peer = 16;
 
-    eprintln!("interdomain: building {} peers in ~{} domains ...", n, n / 50);
+    eprintln!(
+        "interdomain: building {} peers in ~{} domains ...",
+        n,
+        n / 50
+    );
     let mut sys = MultiDomainSystem::build(&cfg, 50).expect("valid config");
     let total_hits = sys.true_matches(0).len();
     eprintln!(

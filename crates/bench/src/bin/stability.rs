@@ -24,13 +24,9 @@ fn main() {
     let batch_size = 250;
 
     let bk = BackgroundKnowledge::medical_cbk();
-    let mut engine = SaintEtiQEngine::new(
-        bk,
-        &Schema::patient(),
-        EngineConfig::default(),
-        SourceId(0),
-    )
-    .expect("CBK binds");
+    let mut engine =
+        SaintEtiQEngine::new(bk, &Schema::patient(), EngineConfig::default(), SourceId(0))
+            .expect("CBK binds");
     let mut rng = rand::rngs::StdRng::seed_from_u64(cli.seed);
     let dist = PatientDistributions::default();
 
@@ -56,8 +52,14 @@ fn main() {
         prev_nodes = nodes;
     }
 
-    let headers =
-        ["tuples", "cells", "new_cells", "node_growth", "descriptor_drift", "mod_rate"];
+    let headers = [
+        "tuples",
+        "cells",
+        "new_cells",
+        "node_growth",
+        "descriptor_drift",
+        "mod_rate",
+    ];
     println!("Summary stability: hierarchy adaptation per 250-tuple batch\n");
     println!("{}", render_table(&headers, &rows));
     println!("CSV:\n{}", render_csv(&headers, &rows));

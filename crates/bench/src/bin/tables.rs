@@ -31,7 +31,10 @@ fn print_table1(table: &Table) {
             row
         })
         .collect();
-    println!("{}", render_table(&["Id", "Age", "Sex", "BMI", "Disease"], &rows));
+    println!(
+        "{}",
+        render_table(&["Id", "Age", "Sex", "BMI", "Disease"], &rows)
+    );
 }
 
 fn print_figure2(bk: &BackgroundKnowledge) {
@@ -60,8 +63,16 @@ fn print_table2(bk: &BackgroundKnowledge, table: &Table) {
     let mut counts: BTreeMap<(String, String), (f64, f64)> = BTreeMap::new();
     for cells in &mapped {
         for c in cells {
-            let age = bk.attribute_at(age_i).unwrap().label_name(c.key.0[age_i]).unwrap();
-            let bmi = bk.attribute_at(bmi_i).unwrap().label_name(c.key.0[bmi_i]).unwrap();
+            let age = bk
+                .attribute_at(age_i)
+                .unwrap()
+                .label_name(c.key.0[age_i])
+                .unwrap();
+            let bmi = bk
+                .attribute_at(bmi_i)
+                .unwrap()
+                .label_name(c.key.0[bmi_i])
+                .unwrap();
             let slot = counts.entry((age.into(), bmi.into())).or_insert((0.0, 0.0));
             slot.0 += c.weight;
             slot.1 = slot.1.max(c.grades[age_i]);
@@ -71,12 +82,23 @@ fn print_table2(bk: &BackgroundKnowledge, table: &Table) {
         .iter()
         .enumerate()
         .map(|(i, ((age, bmi), (count, grade)))| {
-            let age_str =
-                if *grade < 1.0 { format!("{grade:.1}/{age}") } else { age.clone() };
-            vec![format!("c{}", i + 1), age_str, bmi.clone(), format!("{count:.1}")]
+            let age_str = if *grade < 1.0 {
+                format!("{grade:.1}/{age}")
+            } else {
+                age.clone()
+            };
+            vec![
+                format!("c{}", i + 1),
+                age_str,
+                bmi.clone(),
+                format!("{count:.1}"),
+            ]
         })
         .collect();
-    println!("{}", render_table(&["Id", "Age", "BMI", "tuple count"], &rows));
+    println!(
+        "{}",
+        render_table(&["Id", "Age", "BMI", "tuple count"], &rows)
+    );
 }
 
 fn print_node(tree: &SummaryTree, mapper: &Mapper, node: NodeId, depth: usize, out: &mut String) {
@@ -88,8 +110,10 @@ fn print_node(tree: &SummaryTree, mapper: &Mapper, node: NodeId, depth: usize, o
         .iter()
         .enumerate()
         .map(|(i, attr)| {
-            let labels: Vec<&str> =
-                n.intent.sets[i].iter().filter_map(|l| attr.label_name(l)).collect();
+            let labels: Vec<&str> = n.intent.sets[i]
+                .iter()
+                .filter_map(|l| attr.label_name(l))
+                .collect();
             format!("{}:{{{}}}", attr.name(), labels.join("|"))
         })
         .collect();
@@ -140,9 +164,15 @@ fn print_table3() {
             "query rate".into(),
             format!("{} q/node/s", SimConfig::QUERY_RATE_PER_NODE_S),
         ],
-        vec!["topology".into(), "power law (Barabasi-Albert m=2), avg degree 4".into()],
+        vec![
+            "topology".into(),
+            "power law (Barabasi-Albert m=2), avg degree 4".into(),
+        ],
         vec!["flooding TTL".into(), cfg.flood_ttl.to_string()],
-        vec!["inter-domain degree k".into(), cfg.interdomain_k.to_string()],
+        vec![
+            "inter-domain degree k".into(),
+            cfg.interdomain_k.to_string(),
+        ],
     ];
     println!("{}", render_table(&["parameter", "value"], &rows));
 }

@@ -21,13 +21,20 @@ pub struct Cli {
 impl Cli {
     /// Parses `std::env::args`. Unknown flags abort with usage help.
     pub fn parse() -> Self {
-        let mut cli = Cli { seed: 42, quick: false };
+        let mut cli = Cli {
+            seed: 42,
+            quick: false,
+        };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--seed" => {
-                    let v = args.next().unwrap_or_else(|| usage("missing value for --seed"));
-                    cli.seed = v.parse().unwrap_or_else(|_| usage("--seed takes an integer"));
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("missing value for --seed"));
+                    cli.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed takes an integer"));
                 }
                 "--quick" => cli.quick = true,
                 "--help" | "-h" => usage(""),
@@ -150,10 +157,16 @@ mod tests {
 
     #[test]
     fn default_sweeps_cover_paper_grid() {
-        let cli = Cli { seed: 42, quick: false };
+        let cli = Cli {
+            seed: 42,
+            quick: false,
+        };
         assert_eq!(cli.domain_sizes().first(), Some(&16));
         assert_eq!(cli.domain_sizes().last(), Some(&5000));
-        let quick = Cli { seed: 42, quick: true };
+        let quick = Cli {
+            seed: 42,
+            quick: true,
+        };
         assert!(quick.domain_sizes().len() < cli.domain_sizes().len());
     }
 }

@@ -48,10 +48,7 @@ pub fn flood_query<F: Fn(NodeId) -> bool>(
         .map(NodeId)
         .filter(|&p| net.is_up(p) && matches(p))
         .count();
-    let hits_reached = reached
-        .iter()
-        .filter(|&&(p, _)| matches(p))
-        .count()
+    let hits_reached = reached.iter().filter(|&&(p, _)| matches(p)).count()
         + usize::from(matches(origin) && net.is_up(origin));
     BaselineOutcome {
         messages: forwards + hits_reached as u64,
@@ -63,15 +60,16 @@ pub fn flood_query<F: Fn(NodeId) -> bool>(
 /// Centralized index: assumes a complete, consistent index. One query
 /// message, one forward per relevant peer, one response per relevant
 /// peer: `1 + 2·hits`.
-pub fn centralized_query<F: Fn(NodeId) -> bool>(
-    net: &Network,
-    matches: F,
-) -> BaselineOutcome {
+pub fn centralized_query<F: Fn(NodeId) -> bool>(net: &Network, matches: F) -> BaselineOutcome {
     let hits = (0..net.len() as u32)
         .map(NodeId)
         .filter(|&p| net.is_up(p) && matches(p))
         .count();
-    BaselineOutcome { messages: 1 + 2 * hits as u64, hits_reached: hits, hits_total: hits }
+    BaselineOutcome {
+        messages: 1 + 2 * hits as u64,
+        hits_reached: hits,
+        hits_total: hits,
+    }
 }
 
 /// Averages flooding cost/recall over `samples` random origins.
@@ -111,7 +109,10 @@ mod tests {
 
     fn power_law_net(n: usize, seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = TopologyConfig { nodes: n, ..Default::default() };
+        let cfg = TopologyConfig {
+            nodes: n,
+            ..Default::default()
+        };
         Network::new(Graph::barabasi_albert(&cfg, &mut rng))
     }
 

@@ -35,7 +35,10 @@ pub struct QueryCache {
 impl QueryCache {
     /// Creates a cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity: capacity.max(1), entries: VecDeque::new() }
+        Self {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+        }
     }
 
     /// Number of cached entries.
@@ -52,7 +55,10 @@ impl QueryCache {
     /// MRU position; evicts the LRU entry when full).
     pub fn insert(&mut self, template: usize, answering: Vec<NodeId>) {
         self.entries.retain(|e| e.template != template);
-        self.entries.push_front(CachedAnswer { template, answering });
+        self.entries.push_front(CachedAnswer {
+            template,
+            answering,
+        });
         while self.entries.len() > self.capacity {
             self.entries.pop_back();
         }

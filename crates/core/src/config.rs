@@ -97,7 +97,10 @@ impl SimConfig {
             return Err(P2pError::BadConfig("n_peers must be >= 1".into()));
         }
         if !(0.0..=1.0).contains(&self.alpha) {
-            return Err(P2pError::BadConfig(format!("alpha {} not in [0,1]", self.alpha)));
+            return Err(P2pError::BadConfig(format!(
+                "alpha {} not in [0,1]",
+                self.alpha
+            )));
         }
         if !(0.0..=1.0).contains(&self.match_fraction) {
             return Err(P2pError::BadConfig("match_fraction not in [0,1]".into()));
@@ -112,6 +115,19 @@ impl SimConfig {
         }
         if self.query_count == 0 {
             return Err(P2pError::BadConfig("query_count must be >= 1".into()));
+        }
+        if !(1..=8).contains(&self.flood_ttl) {
+            // The routing layer honors the configured TTL verbatim (no
+            // silent clamping), so out-of-range values are rejected here:
+            // 0 never leaves the domain, and beyond ~8 a degree-4
+            // power-law flood covers any Table 3 network many times over.
+            return Err(P2pError::BadConfig(format!(
+                "flood_ttl {} not in 1..=8",
+                self.flood_ttl
+            )));
+        }
+        if self.sumpeer_ttl == 0 {
+            return Err(P2pError::BadConfig("sumpeer_ttl must be >= 1".into()));
         }
         Ok(())
     }
@@ -160,6 +176,18 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = SimConfig::paper_defaults(100, 0.3);
         c.match_fraction = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.flood_ttl = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.flood_ttl = 9;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.flood_ttl = 4;
+        c.validate().unwrap();
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.sumpeer_ttl = 0;
         assert!(c.validate().is_err());
     }
 

@@ -148,7 +148,11 @@ pub fn construct_domains(net: &mut Network, superpeers: &[NodeId], ttl: u32) -> 
         }
     }
 
-    Domains { superpeers: superpeers.to_vec(), assignment, distance }
+    Domains {
+        superpeers: superpeers.to_vec(),
+        assignment,
+        distance,
+    }
 }
 
 /// Handles a summary peer departure (§4.3). Graceful: the SP sends
@@ -169,8 +173,12 @@ pub fn handle_sp_departure(
         // Failure detection: a wasted push/query attempt per partner.
         net.count_messages(MessageClass::Push, members.len() as u64);
     }
-    let remaining: Vec<NodeId> =
-        domains.superpeers.iter().copied().filter(|&s| s != sp).collect();
+    let remaining: Vec<NodeId> = domains
+        .superpeers
+        .iter()
+        .copied()
+        .filter(|&s| s != sp)
+        .collect();
     domains.superpeers = remaining.clone();
     let mut rehomed = 0;
     for p in members {
@@ -181,7 +189,9 @@ pub fn handle_sp_departure(
         let max_hops = (net.len() as u32).min(64);
         let (path, found) = net.selective_walk(p, max_hops, |v| {
             remaining.contains(&v)
-                || domains.assignment[v.index()].map(|s| s != sp).unwrap_or(false)
+                || domains.assignment[v.index()]
+                    .map(|s| s != sp)
+                    .unwrap_or(false)
         });
         net.count_messages(MessageClass::Construction, path.len() as u64);
         if found {
@@ -208,7 +218,10 @@ mod tests {
 
     fn net(n: usize, seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = TopologyConfig { nodes: n, ..Default::default() };
+        let cfg = TopologyConfig {
+            nodes: n,
+            ..Default::default()
+        };
         Network::new(Graph::barabasi_albert(&cfg, &mut rng))
     }
 
@@ -217,8 +230,7 @@ mod tests {
         let n = net(300, 1);
         let sps = elect_superpeers(&n, 5);
         assert_eq!(sps.len(), 5);
-        let min_sp_degree =
-            sps.iter().map(|&s| n.graph().degree(s)).min().unwrap();
+        let min_sp_degree = sps.iter().map(|&s| n.graph().degree(s)).min().unwrap();
         let avg: f64 = n.graph().average_degree();
         assert!(min_sp_degree as f64 >= avg, "SPs must be hubs");
     }
@@ -275,8 +287,15 @@ mod tests {
         n.reset_counters();
         let rehomed = handle_sp_departure(&mut n, &mut domains, sp, true);
         assert!(orphans > 0);
-        assert!(rehomed as f64 >= 0.9 * orphans as f64, "{rehomed}/{orphans}");
-        assert_eq!(n.sent(MessageClass::Control), orphans as u64, "release msgs");
+        assert!(
+            rehomed as f64 >= 0.9 * orphans as f64,
+            "{rehomed}/{orphans}"
+        );
+        assert_eq!(
+            n.sent(MessageClass::Control),
+            orphans as u64,
+            "release msgs"
+        );
         assert!(!domains.superpeers.contains(&sp));
         // Nobody points at the departed SP anymore.
         assert!(domains.assignment.iter().all(|a| *a != Some(sp)));
@@ -291,7 +310,11 @@ mod tests {
         let orphans = domains.members(sp).len();
         n.reset_counters();
         handle_sp_departure(&mut n, &mut domains, sp, false);
-        assert_eq!(n.sent(MessageClass::Push), orphans as u64, "timed-out probes");
+        assert_eq!(
+            n.sent(MessageClass::Push),
+            orphans as u64,
+            "timed-out probes"
+        );
         assert_eq!(n.sent(MessageClass::Control), 0, "no release on failure");
     }
 }

@@ -71,12 +71,18 @@ impl CooperationList {
 
     /// `P_fresh`: partners whose descriptions are fresh (§6.1.2).
     pub fn fresh_partners(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries.iter().filter(|(_, f)| !f.as_stale_bit()).map(|(&p, _)| p)
+        self.entries
+            .iter()
+            .filter(|(_, f)| !f.as_stale_bit())
+            .map(|(&p, _)| p)
     }
 
     /// `P_old`: partners whose descriptions are considered old (§6.1.2).
     pub fn old_partners(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries.iter().filter(|(_, f)| f.as_stale_bit()).map(|(&p, _)| p)
+        self.entries
+            .iter()
+            .filter(|(_, f)| f.as_stale_bit())
+            .map(|(&p, _)| p)
     }
 
     /// The reconciliation trigger metric: `Σ v / |CL|` under the 1-bit

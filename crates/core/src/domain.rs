@@ -1,7 +1,9 @@
-//! Event-driven simulation of one domain (§4.2–§4.3, §6.2.2).
+//! The single-domain simulation facade (§4.2–§4.3, §6.2.2).
 //!
-//! A domain is a summary peer (SP) plus `n` partner peers. The simulation
-//! drives three processes against virtual time:
+//! A domain is a summary peer (SP) plus `n` partner peers. The actual
+//! event loop lives in the shared kernel ([`crate::kernel::SimKernel`]);
+//! this module keeps the historical `DomainSim` entry point the figure
+//! drivers and tests use. Three processes run against virtual time:
 //!
 //! * **summary drift** — each partner's local summary has a lifetime `L`
 //!   (Table 3's lognormal); on expiry the peer's data is regenerated and
@@ -9,8 +11,7 @@
 //! * **churn** — sessions from the same distribution; graceful leaves
 //!   push `v = 2` (collapsed to the 1-bit stale flag, §4.3), silent
 //!   failures push nothing and poison the GS until reconciliation;
-//!   rejoining peers ship their `localsum` and enter the CL with `v = 1`
-//!   ("the need of pulling peer p to get new data descriptions");
+//!   rejoining peers ship their `localsum` and enter the CL with `v = 1`;
 //! * **reconciliation** — whenever the stale fraction reaches α, the SP
 //!   circulates the token: every live partner merges its local summary
 //!   into `NewGS` and forwards it; the SP stores the result and resets
@@ -19,69 +20,18 @@
 //! Queries are sampled across the horizon and scored against exact
 //! ground truth (see [`crate::routing`]).
 
-use std::collections::BTreeMap;
-
-use fuzzy::bk::BackgroundKnowledge;
-use p2psim::churn::{ChurnConfig, SessionEvent, SessionSchedule};
-use p2psim::network::{MessageClass, NodeId};
-use p2psim::sim::Simulator;
-use p2psim::time::SimTime;
-use saintetiq::engine::EngineConfig;
 use saintetiq::hierarchy::SummaryTree;
-use saintetiq::query::proposition::{reformulate, SummaryQuery};
-use saintetiq::wire;
 
 use crate::config::SimConfig;
 use crate::coop::CooperationList;
 use crate::error::P2pError;
-use crate::freshness::Freshness;
-use crate::messages::Message;
+use crate::kernel::SimKernel;
 use crate::metrics::DomainReport;
-use crate::routing::{route_query, QueryOutcome};
-use crate::workload::{generate_peer_data, make_templates, PeerData, QueryTemplate};
 
-/// Simulation events.
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    /// A partner's local summary lifetime expired (data drifted).
-    SummaryExpire(NodeId),
-    /// A churn transition.
-    Session(SessionEvent),
-    /// A workload query sample using the given template.
-    Query(usize),
-}
-
-/// Per-partner simulation state.
-#[derive(Debug, Clone)]
-struct Partner {
-    up: bool,
-    data: PeerData,
-    /// Match bits as of the last time this peer's summary was merged
-    /// into the GS (`0` when absent from the GS).
-    merged_bits: u32,
-    /// True while a drift (`SummaryExpire`) event is in flight for this
-    /// peer — prevents rejoin cycles from stacking duplicate drift
-    /// streams.
-    drift_scheduled: bool,
-}
-
-/// The single-domain simulator.
+/// The single-domain simulator: a facade over the unified kernel with
+/// exactly one [`crate::peerstate::DomainCore`].
 pub struct DomainSim {
-    cfg: SimConfig,
-    bk: BackgroundKnowledge,
-    templates: Vec<QueryTemplate>,
-    reformulated: Vec<SummaryQuery>,
-    sim: Simulator<Ev>,
-    partners: Vec<Partner>,
-    cl: CooperationList,
-    gs: SummaryTree,
-    counters: BTreeMap<MessageClass, u64>,
-    /// Wire bytes per message class (the §6.1.1 traffic-overhead view;
-    /// messages are the paper's primary unit, bytes the bonus).
-    byte_counters: BTreeMap<MessageClass, u64>,
-    reconciliations: u64,
-    outcomes: Vec<QueryOutcome>,
-    gs_bytes_last: usize,
+    kernel: SimKernel,
 }
 
 impl DomainSim {
@@ -89,288 +39,32 @@ impl DomainSim {
     /// summary, constructs the initial GS (counting the `localsum`
     /// messages), and schedules drift, churn and the query workload.
     pub fn new(cfg: SimConfig) -> Result<Self, P2pError> {
-        cfg.validate()?;
-        let bk = BackgroundKnowledge::medical_cbk();
-        let templates = make_templates(cfg.template_count);
-        let reformulated: Vec<SummaryQuery> = templates
-            .iter()
-            .map(|t| reformulate(&t.query, &bk))
-            .collect::<Result<_, _>>()?;
-
-        let mut sim = Simulator::<Ev>::new(cfg.seed);
-        sim.set_horizon(cfg.horizon);
-
-        // Generate partners.
-        let mut partners = Vec::with_capacity(cfg.n_peers);
-        for p in 0..cfg.n_peers {
-            let data = generate_peer_data(
-                sim.rng(),
-                p as u32,
-                &bk,
-                &templates,
-                cfg.match_fraction,
-                cfg.records_per_peer,
-            );
-            partners.push(Partner {
-                up: true,
-                merged_bits: data.match_bits,
-                data,
-                drift_scheduled: true,
-            });
-        }
-
-        let mut this = Self {
-            cfg,
-            bk,
-            templates,
-            reformulated,
-            sim,
-            partners,
-            cl: CooperationList::new(),
-            gs: SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]),
-            counters: BTreeMap::new(),
-            byte_counters: BTreeMap::new(),
-            reconciliations: 0,
-            outcomes: Vec::new(),
-            gs_bytes_last: 0,
-        };
-
-        // Initial construction: every partner ships its localsum.
-        for p in 0..this.cfg.n_peers {
-            let bytes = this.partners[p].data.summary.len();
-            this.count_msg(&Message::LocalSum { bytes }, 1);
-            this.cl.add_partner(NodeId(p as u32), Freshness::Fresh);
-        }
-        this.rebuild_gs();
-
-        // Schedule drift + churn + queries.
-        for p in 0..this.cfg.n_peers {
-            let dt = this.cfg.lifetime.sample(this.sim.rng());
-            this.sim.schedule_in(dt, Ev::SummaryExpire(NodeId(p as u32)));
-        }
-        let churn_cfg = ChurnConfig {
-            lifetime: this.cfg.lifetime,
-            mean_downtime_s: this.cfg.mean_downtime_s,
-            failure_fraction: this.cfg.failure_fraction,
-        };
-        let schedule = SessionSchedule::generate(
-            this.cfg.n_peers,
-            this.cfg.horizon,
-            &churn_cfg,
-            this.sim.rng(),
-        );
-        for &(t, ev) in schedule.events() {
-            this.sim.schedule_at(t, Ev::Session(ev));
-        }
-        // Query samples spread across (10%..100%) of the horizon so the
-        // first samples already see steady-state maintenance.
-        let q = this.cfg.query_count;
-        for i in 0..q {
-            let frac = 0.1 + 0.9 * (i as f64 / q as f64);
-            let at = SimTime::from_secs_f64(this.cfg.horizon.as_secs_f64() * frac);
-            this.sim.schedule_at(at, Ev::Query(i % this.templates.len()));
-        }
-        Ok(this)
-    }
-
-    /// Counts `n` copies of `msg`: one message and its wire bytes each.
-    fn count_msg(&mut self, msg: &Message, n: u64) {
-        let class = msg.class();
-        *self.counters.entry(class).or_insert(0) += n;
-        *self.byte_counters.entry(class).or_insert(0) += n * msg.wire_bytes() as u64;
-    }
-
-    /// Rebuilds the GS from every live partner's current local summary —
-    /// the effect of one full reconciliation round.
-    fn rebuild_gs(&mut self) {
-        let mut gs = SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
-        let ecfg = EngineConfig::default();
-        for (i, partner) in self.partners.iter_mut().enumerate() {
-            if partner.up {
-                let tree = wire::decode(&partner.data.summary)
-                    .expect("locally encoded summaries decode");
-                saintetiq::merge::merge_into(&mut gs, &tree, &ecfg)
-                    .expect("same CBK everywhere");
-                partner.merged_bits = partner.data.match_bits;
-            } else {
-                partner.merged_bits = 0;
-            }
-            let _ = i;
-        }
-        self.gs_bytes_last = wire::encoded_size(&gs);
-        self.gs = gs;
-    }
-
-    /// §4.2.2's pull phase, fired when the CL crosses α.
-    fn maybe_reconcile(&mut self) {
-        if !self.cl.needs_reconciliation(self.cfg.alpha) {
-            return;
-        }
-        // Token ring: one message per live partner, plus the final store
-        // hop back to the SP.
-        let live = self.partners.iter().filter(|p| p.up).count() as u64;
-        self.rebuild_gs();
-        // The token grows along the ring; counting every hop at the
-        // final GS size is a documented upper bound on token bytes.
-        self.count_msg(&Message::ReconciliationToken { bytes: self.gs_bytes_last }, live + 1);
-        let partners = &self.partners;
-        self.cl.reconcile(|p| partners[p.0 as usize].up);
-        self.reconciliations += 1;
-    }
-
-    fn handle(&mut self, ev: Ev) {
-        match ev {
-            Ev::SummaryExpire(p) => {
-                let idx = p.0 as usize;
-                if self.partners[idx].up {
-                    // The data drifted: regenerate the database and its
-                    // local summary, then push the stale flag.
-                    let data = generate_peer_data(
-                        self.sim.rng(),
-                        p.0,
-                        &self.bk,
-                        &self.templates,
-                        self.cfg.match_fraction,
-                        self.cfg.records_per_peer,
-                    );
-                    self.partners[idx].data = data;
-                    self.count_msg(&Message::Push { value: 1 }, 1);
-                    self.cl.set_freshness(p, Freshness::NeedsRefresh);
-                    self.maybe_reconcile();
-                    let dt = self.cfg.lifetime.sample(self.sim.rng());
-                    self.sim.schedule_in(dt, Ev::SummaryExpire(p));
-                } else {
-                    // While down: drift pauses; rejoin restarts it.
-                    self.partners[idx].drift_scheduled = false;
-                }
-            }
-            Ev::Session(SessionEvent::Leave(p)) => {
-                let idx = p.0 as usize;
-                if self.partners[idx].up {
-                    self.partners[idx].up = false;
-                    // §4.3: the departing partner pushes v = 2.
-                    self.count_msg(&Message::Push { value: 2 }, 1);
-                    self.cl.set_freshness(p, Freshness::Unavailable);
-                    self.maybe_reconcile();
-                }
-            }
-            Ev::Session(SessionEvent::Fail(p)) => {
-                // Silent: no message, CL unchanged — the GS now carries
-                // descriptions of unavailable data until reconciliation.
-                self.partners[p.0 as usize].up = false;
-            }
-            Ev::Session(SessionEvent::Join(p)) => {
-                let idx = p.0 as usize;
-                if !self.partners[idx].up {
-                    self.partners[idx].up = true;
-                    // The joiner ships its localsum; its entry needs a
-                    // pull before the GS describes it.
-                    let bytes = self.partners[idx].data.summary.len();
-                    self.count_msg(&Message::LocalSum { bytes }, 1);
-                    self.cl.add_partner(p, Freshness::NeedsRefresh);
-                    self.maybe_reconcile();
-                    if !self.partners[idx].drift_scheduled {
-                        self.partners[idx].drift_scheduled = true;
-                        let dt = self.cfg.lifetime.sample(self.sim.rng());
-                        self.sim.schedule_in(dt, Ev::SummaryExpire(p));
-                    }
-                }
-            }
-            Ev::Query(template) => {
-                let outcome = self.run_query(template);
-                self.count_msg(&Message::Query { template }, 1 + outcome.visited.len() as u64);
-                self.count_msg(&Message::QueryHit { results: 1 }, outcome.answered as u64);
-                self.outcomes.push(outcome);
-            }
-        }
-    }
-
-    /// Routes one workload query against the current GS/CL state.
-    fn run_query(&self, template: usize) -> QueryOutcome {
-        let prop = &self.reformulated[template].proposition;
-        let partners = &self.partners;
-        route_query(
-            &self.gs,
-            &self.cl,
-            prop,
-            self.cfg.policy,
-            self.cfg.n_peers,
-            |p| {
-                let st = &partners[p.0 as usize];
-                (st.up, st.data.matches(template))
-            },
-        )
+        Ok(Self {
+            kernel: SimKernel::single_domain(cfg)?,
+        })
     }
 
     /// Runs the simulation to the horizon and returns the report.
     pub fn run(mut self) -> DomainReport {
-        while let Some((_, ev)) = self.sim.next_event() {
-            self.handle(ev);
-        }
-        let (approx_live, approx_with_departed) = self.approximate_coverage();
-        let mut report = DomainReport::from_run(
-            &self.cfg,
-            &self.outcomes,
-            &self.counters,
-            &self.byte_counters,
-            self.reconciliations,
-            self.gs_bytes_last,
-            self.gs.leaf_count(),
-            self.gs.live_node_count(),
-        );
-        report.approx_weight_live = approx_live;
-        report.approx_weight_with_departed = approx_with_departed;
-        report
-    }
-
-    /// §4.3's two alternatives for departed peers' descriptions, made
-    /// measurable: the approximate-answer weight per template from the
-    /// current GS (alternative 2 — departed data expired, the paper's
-    /// and this simulation's routing choice) versus a GS that *keeps*
-    /// the last known summaries of down peers (alternative 1 — richer
-    /// approximate answers at the price of describing unavailable data).
-    fn approximate_coverage(&self) -> (Vec<f64>, Vec<f64>) {
-        let weight_of = |gs: &SummaryTree| -> Vec<f64> {
-            self.reformulated
-                .iter()
-                .map(|sq| {
-                    saintetiq::query::approx::approximate_answer(gs, sq)
-                        .iter()
-                        .map(|a| a.weight)
-                        .sum()
-                })
-                .collect()
-        };
-        let live = weight_of(&self.gs);
-        let mut with_departed = self.gs.clone();
-        let ecfg = EngineConfig::default();
-        for partner in &self.partners {
-            if !partner.up && partner.merged_bits == 0 {
-                // Down and absent from the GS: its last summary is the
-                // description alternative 1 would have retained.
-                let tree = wire::decode(&partner.data.summary)
-                    .expect("locally encoded summaries decode");
-                saintetiq::merge::merge_into(&mut with_departed, &tree, &ecfg)
-                    .expect("same CBK everywhere");
-            }
-        }
-        (live, weight_of(&with_departed))
+        self.kernel.run_to_horizon();
+        self.kernel.single_report()
     }
 
     /// The current global summary (inspection/testing).
     pub fn gs(&self) -> &SummaryTree {
-        &self.gs
+        &self.kernel.domains[0].gs
     }
 
     /// The cooperation list (inspection/testing).
     pub fn cooperation_list(&self) -> &CooperationList {
-        &self.cl
+        &self.kernel.domains[0].cl
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p2psim::time::SimTime;
 
     fn small_cfg(n: usize, alpha: f64) -> SimConfig {
         let mut c = SimConfig::paper_defaults(n, alpha);
@@ -442,14 +136,20 @@ mod tests {
         let mut cfg = small_cfg(40, 0.4);
         cfg.failure_fraction = 0.5;
         let report = DomainSim::new(cfg).unwrap().run();
-        assert_eq!(report.approx_weight_live.len(), report.approx_weight_with_departed.len());
+        assert_eq!(
+            report.approx_weight_live.len(),
+            report.approx_weight_with_departed.len()
+        );
         assert!(!report.approx_weight_live.is_empty());
         for (live, full) in report
             .approx_weight_live
             .iter()
             .zip(&report.approx_weight_with_departed)
         {
-            assert!(full >= live, "alternative 1 keeps at least as much: {full} vs {live}");
+            assert!(
+                full >= live,
+                "alternative 1 keeps at least as much: {full} vs {live}"
+            );
         }
         // With churn active over 6 hours, some departed data exists.
         let extra: f64 = report
@@ -472,9 +172,15 @@ mod tests {
         if report.reconciliation_messages > 0 && report.push_messages > 0 {
             let token_avg = report.reconciliation_bytes / report.reconciliation_messages;
             let push_avg = report.push_bytes / report.push_messages;
-            assert!(token_avg > 10 * push_avg, "token {token_avg} vs push {push_avg}");
+            assert!(
+                token_avg > 10 * push_avg,
+                "token {token_avg} vs push {push_avg}"
+            );
         }
-        assert_eq!(report.update_bytes(), report.push_bytes + report.reconciliation_bytes);
+        assert_eq!(
+            report.update_bytes(),
+            report.push_bytes + report.reconciliation_bytes
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ mod tests {
 
     #[test]
     fn two_bit_roundtrip() {
-        for f in [Freshness::Fresh, Freshness::NeedsRefresh, Freshness::Unavailable] {
+        for f in [
+            Freshness::Fresh,
+            Freshness::NeedsRefresh,
+            Freshness::Unavailable,
+        ] {
             assert_eq!(Freshness::from_u2(f.as_u2()), Some(f));
         }
         assert_eq!(Freshness::from_u2(3), None);

@@ -1,0 +1,1000 @@
+//! The unified event-driven simulation kernel.
+//!
+//! One `p2psim::Simulator` event loop drives *every* process of the
+//! paper in a single virtual clock, for one domain or for a whole
+//! multi-domain network:
+//!
+//! * **summary drift** — per-peer lifetimes from Table 3's lognormal;
+//!   on expiry the peer's database is regenerated and a `push` flags its
+//!   cooperation-list entry;
+//! * **churn** — session schedules with graceful leaves (`v = 2`
+//!   pushes) and silent failures (GS poison until the next pull);
+//! * **reconciliation** — per-domain α-gated token rings
+//!   ([`DomainCore::maybe_reconcile`]);
+//! * **queries** — intra-domain workload samples
+//!   ([`KernelEvent::LocalQuery`]) and, in networked mode, inter-domain
+//!   lookups ([`KernelEvent::InterQuery`]) routed against the *live*
+//!   per-domain GS/CL state via §5.2.2's flooding + long-link protocol.
+//!
+//! [`crate::domain::DomainSim`] and [`crate::system::MultiDomainSystem`]
+//! are thin facades over this kernel; [`MultiDomainSim`] is the dynamic
+//! entry point the churn-under-routing experiments use.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use fuzzy::bk::BackgroundKnowledge;
+use p2psim::churn::{ChurnConfig, SessionEvent, SessionSchedule};
+use p2psim::network::{MessageClass, Network, NodeId};
+use p2psim::sim::Simulator;
+use p2psim::time::SimTime;
+use p2psim::topology::{Graph, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use saintetiq::engine::EngineConfig;
+use saintetiq::query::proposition::{reformulate, SummaryQuery};
+use saintetiq::query::relevant_sources;
+use saintetiq::wire;
+
+use crate::cache::QueryCache;
+use crate::config::SimConfig;
+use crate::construction::{construct_domains, elect_superpeers, Domains};
+use crate::error::P2pError;
+use crate::messages::Message;
+use crate::metrics::{DomainReport, MultiDomainReport};
+use crate::peerstate::{DomainCore, MessageLedger, PeerState};
+use crate::routing::{QueryOutcome, RoutingPolicy};
+use crate::workload::{generate_peer_data, make_templates, QueryTemplate};
+
+/// How many results a query needs (§5.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupTarget {
+    /// `C_t` result tuples suffice.
+    Partial(usize),
+    /// Every result in the network is wanted.
+    Total,
+}
+
+/// Outcome of one multi-domain query.
+#[derive(Debug, Clone)]
+pub struct MultiDomainOutcome {
+    /// Result tuples gathered (one per answering peer — the paper's
+    /// high-selectivity assumption).
+    pub results: usize,
+    /// Ground-truth result count network-wide (live matching peers).
+    pub results_total: usize,
+    /// Domains whose GS was queried.
+    pub domains_visited: usize,
+    /// Total messages (intra-domain + flooding + responses).
+    pub messages: u64,
+    /// Whether the lookup target was met.
+    pub satisfied: bool,
+    /// Stale answers: peers the (possibly outdated) global summaries
+    /// selected that turned out to be down or no longer matching.
+    pub stale_answers: usize,
+}
+
+impl MultiDomainOutcome {
+    /// Network-wide recall of the query.
+    pub fn recall(&self) -> f64 {
+        if self.results_total == 0 {
+            1.0
+        } else {
+            self.results as f64 / self.results_total as f64
+        }
+    }
+
+    /// Network-wide false negatives: live matching peers the lookup
+    /// never reached (stale summaries, unvisited domains, or an early
+    /// partial-lookup stop).
+    pub fn false_negatives(&self) -> usize {
+        self.results_total.saturating_sub(self.results)
+    }
+
+    fn empty(results_total: usize) -> Self {
+        Self {
+            results: 0,
+            results_total,
+            domains_visited: 0,
+            messages: 0,
+            satisfied: false,
+            stale_answers: 0,
+        }
+    }
+}
+
+/// Simulation events of the unified kernel.
+#[derive(Debug, Clone, Copy)]
+pub enum KernelEvent {
+    /// A partner's local summary lifetime expired (data drifted).
+    Drift(NodeId),
+    /// A churn transition.
+    Session(SessionEvent),
+    /// An intra-domain workload query (single-domain mode).
+    LocalQuery {
+        /// Workload template index.
+        template: usize,
+    },
+    /// An inter-domain lookup posed at a partner peer (networked mode).
+    InterQuery {
+        /// The originating partner.
+        origin: NodeId,
+        /// Workload template index.
+        template: usize,
+    },
+}
+
+/// The unified simulation state: peers + domains + (optionally) the
+/// physical network, driven by one event loop.
+pub struct SimKernel {
+    pub(crate) cfg: SimConfig,
+    bk: BackgroundKnowledge,
+    templates: Vec<QueryTemplate>,
+    reformulated: Vec<SummaryQuery>,
+    sim: Simulator<KernelEvent>,
+    pub(crate) peers: Vec<Option<PeerState>>,
+    pub(crate) domains: Vec<DomainCore>,
+    domain_of: Vec<Option<usize>>,
+    sp_index: BTreeMap<NodeId, usize>,
+    pub(crate) ledger: MessageLedger,
+    outcomes: Vec<QueryOutcome>,
+    inter_outcomes: Vec<(SimTime, MultiDomainOutcome)>,
+    pub(crate) net: Option<Network>,
+    pub(crate) topo: Option<Domains>,
+    caches: Vec<QueryCache>,
+    cache_hits: u64,
+    target: LookupTarget,
+}
+
+/// The medical workload every kernel mode shares: the CBK plus the
+/// query templates reformulated against it.
+fn build_workload(
+    cfg: &SimConfig,
+) -> Result<(BackgroundKnowledge, Vec<QueryTemplate>, Vec<SummaryQuery>), P2pError> {
+    let bk = BackgroundKnowledge::medical_cbk();
+    let templates = make_templates(cfg.template_count);
+    let reformulated: Vec<SummaryQuery> = templates
+        .iter()
+        .map(|t| reformulate(&t.query, &bk))
+        .collect::<Result<_, _>>()?;
+    Ok((bk, templates, reformulated))
+}
+
+/// Query sample times: `(template, at)` pairs spread across
+/// (10%..100%) of the horizon so the first samples already see
+/// steady-state maintenance.
+fn query_sample_times(cfg: &SimConfig, template_count: usize) -> Vec<(usize, SimTime)> {
+    (0..cfg.query_count)
+        .map(|i| {
+            let frac = 0.1 + 0.9 * (i as f64 / cfg.query_count as f64);
+            let at = SimTime::from_secs_f64(cfg.horizon.as_secs_f64() * frac);
+            (i % template_count, at)
+        })
+        .collect()
+}
+
+impl SimKernel {
+    /// Builds the single-domain simulation: one summary peer with every
+    /// generated peer as partner, plus drift, churn and the intra-domain
+    /// query workload scheduled across the horizon — the exact
+    /// [`crate::domain::DomainSim`] semantics.
+    pub fn single_domain(cfg: SimConfig) -> Result<Self, P2pError> {
+        cfg.validate()?;
+        let (bk, templates, reformulated) = build_workload(&cfg)?;
+
+        let mut sim = Simulator::<KernelEvent>::new(cfg.seed);
+        sim.set_horizon(cfg.horizon);
+
+        let mut peers: Vec<Option<PeerState>> = Vec::with_capacity(cfg.n_peers);
+        for p in 0..cfg.n_peers {
+            let data = generate_peer_data(
+                sim.rng(),
+                p as u32,
+                &bk,
+                &templates,
+                cfg.match_fraction,
+                cfg.records_per_peer,
+            );
+            peers.push(Some(PeerState::new(data)));
+        }
+
+        let mut ledger = MessageLedger::new();
+        let mut domain = DomainCore::new(None, (0..cfg.n_peers as u32).map(NodeId).collect());
+        domain.enroll_all(&mut peers, &mut ledger);
+
+        let mut this = Self {
+            cfg,
+            bk,
+            templates,
+            reformulated,
+            sim,
+            peers,
+            domains: vec![domain],
+            domain_of: vec![Some(0); cfg.n_peers],
+            sp_index: BTreeMap::new(),
+            ledger,
+            outcomes: Vec::new(),
+            inter_outcomes: Vec::new(),
+            net: None,
+            topo: None,
+            caches: Vec::new(),
+            cache_hits: 0,
+            target: LookupTarget::Total,
+        };
+        this.schedule_drift_all();
+        this.schedule_churn();
+        for (template, at) in query_sample_times(&this.cfg, this.templates.len()) {
+            this.sim
+                .schedule_at(at, KernelEvent::LocalQuery { template });
+        }
+        Ok(this)
+    }
+
+    /// Builds the networked multi-domain system: topology → SP election
+    /// → domain construction → per-peer data + local summaries →
+    /// per-domain global summaries → SP long-range links. With
+    /// `dynamics`, additionally schedules drift, churn and sampled
+    /// inter-domain lookups so maintenance and routing interleave in
+    /// virtual time; without it the system is frozen at t = 0 (the
+    /// static [`crate::system::MultiDomainSystem`] view).
+    pub fn networked(
+        cfg: SimConfig,
+        domain_target: usize,
+        dynamics: Option<LookupTarget>,
+    ) -> Result<Self, P2pError> {
+        cfg.validate()?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let topo_cfg = TopologyConfig {
+            nodes: cfg.n_peers,
+            m: cfg.topology_m,
+            ..Default::default()
+        };
+        let mut net = Network::new(Graph::barabasi_albert(&topo_cfg, &mut rng));
+
+        let sp_count = (cfg.n_peers / domain_target.max(2)).max(1);
+        let superpeers = elect_superpeers(&net, sp_count);
+        let topo = construct_domains(&mut net, &superpeers, cfg.sumpeer_ttl);
+
+        let (bk, templates, reformulated) = build_workload(&cfg)?;
+
+        let mut peers: Vec<Option<PeerState>> = vec![None; cfg.n_peers];
+        for (i, assignment) in topo.assignment.iter().enumerate() {
+            if assignment.is_some() {
+                peers[i] = Some(PeerState::new(generate_peer_data(
+                    &mut rng,
+                    i as u32,
+                    &bk,
+                    &templates,
+                    cfg.match_fraction,
+                    cfg.records_per_peer,
+                )));
+            }
+        }
+
+        let mut ledger = MessageLedger::new();
+        let mut domains = Vec::with_capacity(superpeers.len());
+        let mut sp_index = BTreeMap::new();
+        let mut domain_of: Vec<Option<usize>> = vec![None; cfg.n_peers];
+        for &sp in &superpeers {
+            let members = topo.members(sp);
+            for &m in &members {
+                domain_of[m.index()] = Some(domains.len());
+            }
+            sp_index.insert(sp, domains.len());
+            let mut core = DomainCore::new(Some(sp), members);
+            core.enroll_all(&mut peers, &mut ledger);
+            domains.push(core);
+        }
+
+        // Long-range SP links, sampled *without replacement* from a
+        // shuffled candidate list so small SP sets still receive their
+        // full k links, deterministically from the seeded RNG.
+        let k = cfg.interdomain_k.round() as usize;
+        let sp_ids: Vec<NodeId> = superpeers.clone();
+        for core in &mut domains {
+            let sp = core.sp.expect("networked domains have an SP");
+            let mut candidates: Vec<NodeId> = sp_ids.iter().copied().filter(|&o| o != sp).collect();
+            candidates.shuffle(&mut rng);
+            candidates.truncate(k);
+            candidates.sort_unstable_by_key(|n| n.0);
+            core.long_links = candidates;
+        }
+
+        let caches = (0..cfg.n_peers).map(|_| QueryCache::new(8)).collect();
+        // The event loop's RNG is decorrelated from the build RNG (both
+        // derive from cfg.seed, so an XOR constant keeps their streams
+        // distinct while staying reproducible).
+        let mut sim = Simulator::<KernelEvent>::new(cfg.seed ^ 0x5D1F_77A3_9C24_E8B1);
+        sim.set_horizon(cfg.horizon);
+
+        let mut this = Self {
+            cfg,
+            bk,
+            templates,
+            reformulated,
+            sim,
+            peers,
+            domains,
+            domain_of,
+            sp_index,
+            ledger,
+            outcomes: Vec::new(),
+            inter_outcomes: Vec::new(),
+            net: Some(net),
+            topo: Some(topo),
+            caches,
+            cache_hits: 0,
+            target: dynamics.unwrap_or(LookupTarget::Total),
+        };
+
+        if dynamics.is_some() {
+            this.schedule_drift_all();
+            this.schedule_churn();
+            this.schedule_inter_queries();
+        }
+        Ok(this)
+    }
+
+    /// Schedules the first drift expiry of every (assigned) peer.
+    fn schedule_drift_all(&mut self) {
+        for p in 0..self.cfg.n_peers {
+            if self.peers[p].is_some() {
+                let dt = self.cfg.lifetime.sample(self.sim.rng());
+                self.sim
+                    .schedule_in(dt, KernelEvent::Drift(NodeId(p as u32)));
+            }
+        }
+    }
+
+    /// Schedules the churn session stream for every (assigned) peer.
+    fn schedule_churn(&mut self) {
+        let churn_cfg = ChurnConfig {
+            lifetime: self.cfg.lifetime,
+            mean_downtime_s: self.cfg.mean_downtime_s,
+            failure_fraction: self.cfg.failure_fraction,
+        };
+        let partners: Vec<NodeId> = (0..self.cfg.n_peers as u32)
+            .map(NodeId)
+            .filter(|p| self.peers[p.index()].is_some())
+            .collect();
+        let schedule =
+            SessionSchedule::generate_for(&partners, self.cfg.horizon, &churn_cfg, self.sim.rng());
+        for &(t, ev) in schedule.events() {
+            self.sim.schedule_at(t, KernelEvent::Session(ev));
+        }
+    }
+
+    /// Samples `query_count` inter-domain lookups across (10%..100%) of
+    /// the horizon, from random assigned origins.
+    fn schedule_inter_queries(&mut self) {
+        let partners: Vec<NodeId> = (0..self.cfg.n_peers as u32)
+            .map(NodeId)
+            .filter(|p| self.peers[p.index()].is_some())
+            .collect();
+        if partners.is_empty() {
+            return;
+        }
+        for (template, at) in query_sample_times(&self.cfg, self.templates.len()) {
+            let origin = partners[self.sim.rng().gen_range(0..partners.len())];
+            self.sim
+                .schedule_at(at, KernelEvent::InterQuery { origin, template });
+        }
+    }
+
+    /// Processes one event.
+    fn handle(&mut self, ev: KernelEvent) {
+        match ev {
+            KernelEvent::Drift(p) => {
+                let idx = p.index();
+                let up = self.peers[idx].as_ref().is_some_and(|s| s.up);
+                if up {
+                    // The data drifted: regenerate the database and its
+                    // local summary, then push the stale flag.
+                    let data = generate_peer_data(
+                        self.sim.rng(),
+                        p.0,
+                        &self.bk,
+                        &self.templates,
+                        self.cfg.match_fraction,
+                        self.cfg.records_per_peer,
+                    );
+                    self.peers[idx].as_mut().expect("up peer has state").data = data;
+                    if let Some(d) = self.domain_of[idx] {
+                        self.domains[d].on_drift(
+                            p,
+                            self.cfg.alpha,
+                            &mut self.peers,
+                            &mut self.ledger,
+                        );
+                    }
+                    let dt = self.cfg.lifetime.sample(self.sim.rng());
+                    self.sim.schedule_in(dt, KernelEvent::Drift(p));
+                } else if let Some(st) = self.peers[idx].as_mut() {
+                    // While down: drift pauses; rejoin restarts it.
+                    st.drift_scheduled = false;
+                }
+            }
+            KernelEvent::Session(SessionEvent::Leave(p)) => {
+                let idx = p.index();
+                if self.peers[idx].as_ref().is_some_and(|s| s.up) {
+                    self.peers[idx].as_mut().expect("checked").up = false;
+                    if let Some(net) = self.net.as_mut() {
+                        net.take_down(p);
+                    }
+                    if let Some(d) = self.domain_of[idx] {
+                        self.domains[d].on_leave(
+                            p,
+                            self.cfg.alpha,
+                            &mut self.peers,
+                            &mut self.ledger,
+                        );
+                    }
+                }
+            }
+            KernelEvent::Session(SessionEvent::Fail(p)) => {
+                // Silent: no message, CL unchanged — the GS now carries
+                // descriptions of unavailable data until reconciliation.
+                if let Some(st) = self.peers[p.index()].as_mut() {
+                    st.up = false;
+                    if let Some(net) = self.net.as_mut() {
+                        net.take_down(p);
+                    }
+                }
+            }
+            KernelEvent::Session(SessionEvent::Join(p)) => {
+                let idx = p.index();
+                if self.peers[idx].as_ref().is_some_and(|s| !s.up) {
+                    self.peers[idx].as_mut().expect("checked").up = true;
+                    if let Some(net) = self.net.as_mut() {
+                        net.bring_up(p);
+                    }
+                    if let Some(d) = self.domain_of[idx] {
+                        self.domains[d].on_join(
+                            p,
+                            self.cfg.alpha,
+                            &mut self.peers,
+                            &mut self.ledger,
+                        );
+                    }
+                    let st = self.peers[idx].as_mut().expect("checked");
+                    if !st.drift_scheduled {
+                        st.drift_scheduled = true;
+                        let dt = self.cfg.lifetime.sample(self.sim.rng());
+                        self.sim.schedule_in(dt, KernelEvent::Drift(p));
+                    }
+                }
+            }
+            KernelEvent::LocalQuery { template } => {
+                let prop = &self.reformulated[template].proposition;
+                let outcome =
+                    self.domains[0].route_local(prop, self.cfg.policy, &self.peers, template);
+                self.ledger.count(
+                    &Message::Query { template },
+                    1 + outcome.visited.len() as u64,
+                );
+                self.ledger
+                    .count(&Message::QueryHit { results: 1 }, outcome.answered as u64);
+                self.outcomes.push(outcome);
+            }
+            KernelEvent::InterQuery { origin, template } => {
+                // Only live peers pose queries; a down origin's sample is
+                // simply skipped (nobody is there to ask).
+                if self.peers[origin.index()].as_ref().is_some_and(|s| s.up) {
+                    let target = self.target;
+                    let out = self.route_live(origin, template, target);
+                    self.inter_outcomes.push((self.sim.now(), out));
+                }
+            }
+        }
+    }
+
+    /// Runs every scheduled event to the horizon.
+    pub fn run_to_horizon(&mut self) {
+        while let Some((_, ev)) = self.sim.next_event() {
+            self.handle(ev);
+        }
+    }
+
+    /// Processes events due at or before `t`, then advances the clock to
+    /// `t` — the probe-in-the-middle entry the dynamic experiments use.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some((_, ev)) = self.sim.next_event_before(t) {
+            self.handle(ev);
+        }
+        self.sim.fast_forward(t);
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Ground truth: all live peers currently matching `template`.
+    pub fn true_matches(&self, template: usize) -> Vec<NodeId> {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.as_ref().is_some_and(|s| s.up && s.data.matches(template)))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Cache hits observed during inter-domain flooding so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Number of query templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Queries one domain's *live* GS/CL under the configured routing
+    /// policy: (answering peers, stale answers, messages).
+    fn query_domain(&self, d: usize, template: usize) -> (Vec<NodeId>, usize, u64) {
+        let dom = &self.domains[d];
+        let prop = &self.reformulated[template].proposition;
+        // Only current partners are contacted: the CL is the membership
+        // authority even when the GS still carries departed peers' cells.
+        let pq: Vec<NodeId> = relevant_sources(&dom.gs, prop)
+            .into_iter()
+            .map(|s| NodeId(s.0))
+            .filter(|p| dom.cl.contains(*p))
+            .collect();
+        let visited: Vec<NodeId> = match self.cfg.policy {
+            RoutingPolicy::All => pq,
+            RoutingPolicy::FreshOnly => pq
+                .into_iter()
+                .filter(|&p| {
+                    dom.cl
+                        .freshness(p)
+                        .map(|f| !f.as_stale_bit())
+                        .unwrap_or(false)
+                })
+                .collect(),
+            RoutingPolicy::Extended => {
+                let mut v = pq;
+                v.extend(dom.cl.old_partners());
+                v.sort_unstable_by_key(|p| p.0);
+                v.dedup();
+                v
+            }
+        };
+        let mut answering = Vec::new();
+        let mut stale = 0usize;
+        for p in &visited {
+            let live_match = self.peers[p.index()]
+                .as_ref()
+                .is_some_and(|s| s.up && s.data.matches(template));
+            if live_match {
+                answering.push(*p);
+            } else {
+                stale += 1;
+            }
+        }
+        // 1 query to the SP happens at the caller; here: forwards + hits.
+        let messages = visited.len() as u64 + answering.len() as u64;
+        (answering, stale, messages)
+    }
+
+    /// Routes a query posed at `origin` through the network (§5.2.2),
+    /// against the *current* per-domain GS/CL state — under churn this is
+    /// where stale summaries become measurable network-wide.
+    pub fn route_live(
+        &mut self,
+        origin: NodeId,
+        template: usize,
+        target: LookupTarget,
+    ) -> MultiDomainOutcome {
+        let results_total = self.true_matches(template).len();
+        let need = match target {
+            LookupTarget::Partial(ct) => ct,
+            LookupTarget::Total => usize::MAX,
+        };
+
+        let Some(home) = self.domain_of.get(origin.index()).copied().flatten() else {
+            return MultiDomainOutcome::empty(results_total);
+        };
+        // A down origin cannot pose a query (the scheduled InterQuery
+        // path skips it for the same reason); probes get the same rule.
+        if !self.peers[origin.index()].as_ref().is_some_and(|s| s.up) {
+            return MultiDomainOutcome::empty(results_total);
+        }
+
+        let mut messages: u64 = 0;
+        let mut stale_answers = 0usize;
+        let mut answered: BTreeSet<NodeId> = BTreeSet::new();
+        let mut visited_domains: BTreeSet<usize> = BTreeSet::new();
+        // Domains to process next: discovered through flooding/long links.
+        let mut frontier: VecDeque<usize> = VecDeque::new();
+        frontier.push_back(home);
+
+        'domains: while let Some(d) = frontier.pop_front() {
+            if !visited_domains.insert(d) {
+                continue;
+            }
+            messages += 1; // the query message to this domain's SP
+            let (answering, stale, msgs) = self.query_domain(d, template);
+            messages += msgs;
+            stale_answers += stale;
+            answered.extend(answering.iter().copied());
+            if let Some(net) = self.net.as_mut() {
+                net.count_messages(MessageClass::Query, 1 + msgs);
+            }
+            // Group locality (§5.2.2): the originator and the answering
+            // peers remember who answered this template. The originator
+            // accumulates everyone seen so far — a later domain with no
+            // answerers must not wipe the entry it already earned.
+            if !answered.is_empty() {
+                self.caches[origin.index()].insert(template, answered.iter().copied().collect());
+            }
+            for &p in &answering {
+                self.caches[p.index()].insert(template, answering.clone());
+            }
+            if answered.len() >= need {
+                break;
+            }
+
+            // §5.2.2: flood requests to the answering peers and the
+            // originator, who forward the query outside their domain with
+            // a limited TTL; plus the SP's long-range links.
+            let mut flooders: Vec<NodeId> = answering;
+            if self.domain_of[origin.index()] == Some(d) {
+                flooders.push(origin);
+            }
+            if let Some(net) = self.net.as_mut() {
+                net.count_messages(MessageClass::Flood, flooders.len() as u64);
+            }
+            messages += flooders.len() as u64;
+            for f in flooders {
+                let reach = self
+                    .net
+                    .as_ref()
+                    .expect("networked kernel")
+                    .flood_reach(f, self.cfg.flood_ttl);
+                for (reached, _) in reach {
+                    messages += 1; // each forward is a message
+                                   // A reached neighbor with a cached answer for this
+                                   // template replies immediately — "its neighbors may
+                                   // have cached answers to similar queries".
+                    if let Some(hit) = self.caches[reached.index()].lookup(template) {
+                        let cached = hit.answering.clone();
+                        self.cache_hits += 1;
+                        messages += 1; // the cache-holder's reply
+                        for q in cached {
+                            // Validate against ground truth: stale cache
+                            // entries (peer gone or drifted) add nothing.
+                            let valid = self.peers[q.index()]
+                                .as_ref()
+                                .is_some_and(|s| s.up && s.data.matches(template));
+                            if valid {
+                                answered.insert(q);
+                            }
+                        }
+                        if answered.len() >= need {
+                            break 'domains;
+                        }
+                    }
+                    if let Some(other) = self.domain_of[reached.index()] {
+                        if !visited_domains.contains(&other) {
+                            frontier.push_back(other);
+                        }
+                    }
+                }
+            }
+            let links = self.domains[d].long_links.clone();
+            for sp in links {
+                messages += 1;
+                let other = self.sp_index[&sp];
+                if !visited_domains.contains(&other) {
+                    frontier.push_back(other);
+                }
+            }
+        }
+
+        MultiDomainOutcome {
+            results: answered.len(),
+            results_total,
+            domains_visited: visited_domains.len(),
+            messages,
+            satisfied: answered.len() >= need.min(results_total),
+            stale_answers,
+        }
+    }
+
+    /// Builds the single-domain report after a completed run.
+    pub(crate) fn single_report(&self) -> DomainReport {
+        let dom = &self.domains[0];
+        let (approx_live, approx_with_departed) = self.approximate_coverage();
+        let mut report = DomainReport::from_run(
+            &self.cfg,
+            &self.outcomes,
+            self.ledger.counters(),
+            self.ledger.byte_counters(),
+            dom.reconciliations,
+            dom.gs_bytes_last,
+            dom.gs.leaf_count(),
+            dom.gs.live_node_count(),
+        );
+        report.approx_weight_live = approx_live;
+        report.approx_weight_with_departed = approx_with_departed;
+        report
+    }
+
+    /// §4.3's two alternatives for departed peers' descriptions, made
+    /// measurable: the approximate-answer weight per template from the
+    /// current GS (alternative 2 — departed data expired, the paper's
+    /// and this simulation's routing choice) versus a GS that *keeps*
+    /// the last known summaries of down peers (alternative 1 — richer
+    /// approximate answers at the price of describing unavailable data).
+    fn approximate_coverage(&self) -> (Vec<f64>, Vec<f64>) {
+        let gs = &self.domains[0].gs;
+        let weight_of = |gs: &saintetiq::hierarchy::SummaryTree| -> Vec<f64> {
+            self.reformulated
+                .iter()
+                .map(|sq| {
+                    saintetiq::query::approx::approximate_answer(gs, sq)
+                        .iter()
+                        .map(|a| a.weight)
+                        .sum()
+                })
+                .collect()
+        };
+        let live = weight_of(gs);
+        let mut with_departed = gs.clone();
+        let ecfg = EngineConfig::default();
+        for peer in self.peers.iter().flatten() {
+            if !peer.up && peer.merged_bits == 0 {
+                // Down and absent from the GS: its last summary is the
+                // description alternative 1 would have retained.
+                let tree =
+                    wire::decode(&peer.data.summary).expect("locally encoded summaries decode");
+                saintetiq::merge::merge_into(&mut with_departed, &tree, &ecfg)
+                    .expect("same CBK everywhere");
+            }
+        }
+        (live, weight_of(&with_departed))
+    }
+
+    /// Builds the multi-domain report after a completed dynamic run.
+    pub(crate) fn multi_report(&self) -> MultiDomainReport {
+        let reconciliations = self.domains.iter().map(|d| d.reconciliations).sum();
+        MultiDomainReport::from_run(
+            &self.cfg,
+            self.domains.len(),
+            &self.inter_outcomes,
+            &self.ledger,
+            reconciliations,
+            self.cache_hits,
+        )
+    }
+
+    /// Forces a reconciliation round in every domain (used by probes and
+    /// SP-initiated maintenance scenarios).
+    pub fn reconcile_all(&mut self) {
+        for d in 0..self.domains.len() {
+            let (domains, peers, ledger) = (&mut self.domains, &mut self.peers, &mut self.ledger);
+            domains[d].reconcile(peers, ledger);
+        }
+    }
+
+    /// Mean stale fraction across domains' cooperation lists.
+    pub fn mean_stale_fraction(&self) -> f64 {
+        if self.domains.is_empty() {
+            return 0.0;
+        }
+        self.domains
+            .iter()
+            .map(|d| d.cl.stale_fraction())
+            .sum::<f64>()
+            / self.domains.len() as f64
+    }
+
+    /// Fraction of assigned peers currently live.
+    pub fn live_fraction(&self) -> f64 {
+        let assigned = self.peers.iter().flatten().count();
+        if assigned == 0 {
+            return 0.0;
+        }
+        let live = self.peers.iter().flatten().filter(|s| s.up).count();
+        live as f64 / assigned as f64
+    }
+}
+
+/// The dynamic multi-domain simulation: churn, drift and reconciliation
+/// interleaved with inter-domain lookups — the network-scale experiment
+/// the static [`crate::system::MultiDomainSystem`] cannot express.
+pub struct MultiDomainSim {
+    kernel: SimKernel,
+}
+
+impl MultiDomainSim {
+    /// Builds the system and schedules its full dynamic event load.
+    pub fn new(
+        cfg: SimConfig,
+        domain_target: usize,
+        target: LookupTarget,
+    ) -> Result<Self, P2pError> {
+        Ok(Self {
+            kernel: SimKernel::networked(cfg, domain_target, Some(target))?,
+        })
+    }
+
+    /// Runs to the horizon and reports.
+    pub fn run(mut self) -> MultiDomainReport {
+        self.kernel.run_to_horizon();
+        self.kernel.multi_report()
+    }
+
+    /// Processes events up to virtual time `t`.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.kernel.run_until(t);
+    }
+
+    /// Routes one lookup right now, against the current (possibly stale)
+    /// per-domain summaries.
+    pub fn route_now(
+        &mut self,
+        origin: NodeId,
+        template: usize,
+        target: LookupTarget,
+    ) -> MultiDomainOutcome {
+        self.kernel.route_live(origin, template, target)
+    }
+
+    /// Forces a reconciliation round in every domain.
+    pub fn reconcile_all(&mut self) {
+        self.kernel.reconcile_all();
+    }
+
+    /// The domain construction map.
+    pub fn domains(&self) -> &Domains {
+        self.kernel
+            .topo
+            .as_ref()
+            .expect("networked kernel has a topology")
+    }
+
+    /// Live assigned partners (candidate query origins).
+    pub fn live_origins(&self) -> Vec<NodeId> {
+        (0..self.kernel.cfg.n_peers as u32)
+            .map(NodeId)
+            .filter(|p| {
+                self.kernel.peers[p.index()].as_ref().is_some_and(|s| s.up)
+                    && self.kernel.domain_of[p.index()].is_some()
+            })
+            .collect()
+    }
+
+    /// Ground truth: live peers matching `template`.
+    pub fn true_matches(&self, template: usize) -> Vec<NodeId> {
+        self.kernel.true_matches(template)
+    }
+
+    /// Mean CL stale fraction across domains.
+    pub fn mean_stale_fraction(&self) -> f64 {
+        self.kernel.mean_stale_fraction()
+    }
+
+    /// Fraction of assigned peers currently live.
+    pub fn live_fraction(&self) -> f64 {
+        self.kernel.live_fraction()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Number of query templates.
+    pub fn template_count(&self) -> usize {
+        self.kernel.template_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, seed: u64) -> SimConfig {
+        let mut c = SimConfig::paper_defaults(n, 0.3);
+        c.horizon = SimTime::from_hours(4);
+        c.query_count = 30;
+        c.records_per_peer = 10;
+        c.seed = seed;
+        c
+    }
+
+    #[test]
+    fn single_domain_kernel_matches_domain_sim_shape() {
+        let mut k = SimKernel::single_domain(cfg(24, 1)).unwrap();
+        k.run_to_horizon();
+        let report = k.single_report();
+        assert_eq!(report.queries, 30);
+        assert!(report.total_messages() > 0);
+    }
+
+    #[test]
+    fn networked_static_build_has_live_domains() {
+        let k = SimKernel::networked(cfg(200, 2), 30, None).unwrap();
+        assert!(k.domains.len() >= 4);
+        for dom in &k.domains {
+            assert_eq!(dom.cl.len(), dom.members.len());
+            assert_eq!(dom.cl.stale_fraction(), 0.0);
+        }
+        assert_eq!(k.live_fraction(), 1.0);
+    }
+
+    #[test]
+    fn long_links_are_distinct_and_filled() {
+        let k = SimKernel::networked(cfg(300, 3), 30, None).unwrap();
+        let k_target = k.cfg.interdomain_k.round() as usize;
+        let sp_count = k.domains.len();
+        for dom in &k.domains {
+            let links = &dom.long_links;
+            let mut dedup = links.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), links.len(), "no duplicate links");
+            assert!(!links.contains(&dom.sp.unwrap()), "no self-links");
+            assert_eq!(
+                links.len(),
+                k_target.min(sp_count - 1),
+                "k links even on small SP sets"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_run_produces_outcomes_under_churn() {
+        let report = MultiDomainSim::new(cfg(150, 4), 25, LookupTarget::Total)
+            .unwrap()
+            .run();
+        assert!(report.queries > 0, "live origins answered");
+        assert!(report.mean_recall > 0.0);
+        assert!(report.mean_recall <= 1.0 + 1e-12);
+        assert!(
+            report.push_messages > 0,
+            "drift and leaves push under churn"
+        );
+    }
+
+    #[test]
+    fn probe_reconcile_restores_freshness() {
+        let mut sim = MultiDomainSim::new(cfg(120, 5), 20, LookupTarget::Total).unwrap();
+        sim.advance_to(SimTime::from_hours(2));
+        sim.reconcile_all();
+        assert_eq!(sim.mean_stale_fraction(), 0.0);
+    }
+
+    #[test]
+    fn down_origin_probe_yields_empty_outcome() {
+        let mut sim = MultiDomainSim::new(cfg(150, 7), 25, LookupTarget::Total).unwrap();
+        sim.advance_to(SimTime::from_hours(2));
+        let live = sim.live_origins();
+        let down = sim
+            .domains()
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_some())
+            .map(|(i, _)| NodeId(i as u32))
+            .find(|p| !live.contains(p));
+        let down = down.expect("two hours of churn took someone down");
+        let out = sim.route_now(down, 0, LookupTarget::Total);
+        assert_eq!(out.messages, 0, "nobody is there to ask");
+        assert!(!out.satisfied);
+    }
+
+    #[test]
+    fn deterministic_dynamic_runs() {
+        let a = MultiDomainSim::new(cfg(100, 6), 20, LookupTarget::Partial(5))
+            .unwrap()
+            .run();
+        let b = MultiDomainSim::new(cfg(100, 6), 20, LookupTarget::Partial(5))
+            .unwrap()
+            .run();
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.push_messages, b.push_messages);
+        assert!((a.mean_recall - b.mean_recall).abs() < 1e-12);
+    }
+}

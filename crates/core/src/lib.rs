@@ -12,7 +12,28 @@
 //! matching them against the GS (peer localization) or answered
 //! approximately straight from it.
 //!
-//! Modules, following the paper's structure:
+//! ## Architecture: one simulation kernel, two facades
+//!
+//! Every dynamic process of the paper — summary drift, churn sessions,
+//! α-gated reconciliation rings, intra-domain workload queries and
+//! §5.2.2's inter-domain lookups — runs as interleaved events of a
+//! single deterministic event loop:
+//!
+//! * [`peerstate`] — the shared state machine: [`peerstate::PeerState`]
+//!   (one partner's liveness + generated data), [`peerstate::DomainCore`]
+//!   (one domain's GS/CL and its push/pull transitions) and
+//!   [`peerstate::MessageLedger`] (the §6.1 message/byte accounting);
+//! * [`kernel`] — [`kernel::SimKernel`] drives N domains in one
+//!   `p2psim::Simulator` loop and rebuilds multi-domain routing on the
+//!   *live* per-domain GS/CL state, so recall, stale answers and false
+//!   negatives are measurable network-wide while maintenance runs;
+//!   [`kernel::MultiDomainSim`] is the dynamic entry point;
+//! * [`domain`] — [`domain::DomainSim`], the single-domain facade the
+//!   Figure 4–6 drivers use (one `DomainCore`, intra-domain queries);
+//! * [`system`] — [`system::MultiDomainSystem`], the frozen t = 0 facade
+//!   (construction + fresh global summaries) of §5.2.2's static view.
+//!
+//! ## Supporting modules, following the paper's structure
 //!
 //! * [`config`] — Table 3's simulation parameters as a typed config;
 //! * [`freshness`] / [`coop`] — the 2-bit freshness values and the
@@ -22,21 +43,20 @@
 //! * [`construction`] — domain construction over the physical topology
 //!   (§4.1): TTL-limited `sumpeer` broadcast, closest-SP partnership,
 //!   selective-walk `find`;
-//! * [`domain`] — the event-driven single-domain simulation of summary
-//!   maintenance (§4.2–4.3): push on drift, pull reconciliation rings
-//!   gated by the threshold α, churn with graceful leaves and silent
-//!   failures;
 //! * [`routing`] — query processing (§5): reformulation, GS evaluation,
 //!   the recall/precision policies over `P_fresh`/`P_old`, and stale
 //!   answer accounting;
+//! * [`cache`] — §5.2.2's group-locality answer caches;
 //! * [`workload`] — the Table 3 workload: query templates matched by a
 //!   configurable fraction of peers, with exact ground truth;
 //! * [`costmodel`] — the closed-form cost model of §6.1 (equations (1)
 //!   and (2));
 //! * [`baselines`] — §6.2.3's comparators: pure TTL-3 flooding and a
 //!   centralized index;
-//! * [`metrics`] — accuracy/traffic accounting shared by experiments;
-//! * [`scenario`] — the experiment drivers regenerating Figures 4–7.
+//! * [`metrics`] — accuracy/traffic reports for both facades;
+//! * [`scenario`] — the experiment drivers regenerating Figures 4–7 plus
+//!   [`scenario::figure_multidomain_churn`], the unified kernel's
+//!   churn-under-routing experiment.
 
 pub mod baselines;
 pub mod cache;
@@ -47,8 +67,10 @@ pub mod costmodel;
 pub mod domain;
 pub mod error;
 pub mod freshness;
+pub mod kernel;
 pub mod messages;
 pub mod metrics;
+pub mod peerstate;
 pub mod routing;
 pub mod scenario;
 pub mod system;
@@ -59,4 +81,5 @@ pub use coop::CooperationList;
 pub use domain::DomainSim;
 pub use error::P2pError;
 pub use freshness::Freshness;
+pub use kernel::{LookupTarget, MultiDomainOutcome, MultiDomainSim, SimKernel};
 pub use routing::RoutingPolicy;

@@ -67,10 +67,9 @@ impl Message {
     /// The accounting class of this message.
     pub fn class(&self) -> MessageClass {
         match self {
-            Message::SumPeer { .. }
-            | Message::LocalSum { .. }
-            | Message::Drop
-            | Message::Find => MessageClass::Construction,
+            Message::SumPeer { .. } | Message::LocalSum { .. } | Message::Drop | Message::Find => {
+                MessageClass::Construction
+            }
             Message::Push { .. } => MessageClass::Push,
             Message::ReconciliationToken { .. } => MessageClass::Reconciliation,
             Message::Release => MessageClass::Control,
@@ -103,15 +102,28 @@ mod tests {
     #[test]
     fn classes_partition_the_vocabulary() {
         let cases = [
-            (Message::SumPeer { sp: NodeId(1), hops: 0, ttl: 2 }, MessageClass::Construction),
+            (
+                Message::SumPeer {
+                    sp: NodeId(1),
+                    hops: 0,
+                    ttl: 2,
+                },
+                MessageClass::Construction,
+            ),
             (Message::LocalSum { bytes: 512 }, MessageClass::Construction),
             (Message::Drop, MessageClass::Construction),
             (Message::Find, MessageClass::Construction),
             (Message::Push { value: 1 }, MessageClass::Push),
-            (Message::ReconciliationToken { bytes: 2048 }, MessageClass::Reconciliation),
+            (
+                Message::ReconciliationToken { bytes: 2048 },
+                MessageClass::Reconciliation,
+            ),
             (Message::Release, MessageClass::Control),
             (Message::Query { template: 0 }, MessageClass::Query),
-            (Message::QueryHit { results: 3 }, MessageClass::QueryResponse),
+            (
+                Message::QueryHit { results: 3 },
+                MessageClass::QueryResponse,
+            ),
             (Message::FloodRequest { ttl: 2 }, MessageClass::Flood),
         ];
         for (msg, class) in cases {

@@ -3,8 +3,11 @@
 use std::collections::BTreeMap;
 
 use p2psim::network::MessageClass;
+use p2psim::time::SimTime;
 
 use crate::config::SimConfig;
+use crate::kernel::MultiDomainOutcome;
+use crate::peerstate::MessageLedger;
 use crate::routing::QueryOutcome;
 
 /// The aggregate of one domain run — everything Figures 4–6 plot.
@@ -76,9 +79,8 @@ impl DomainReport {
         gs_nodes: usize,
     ) -> Self {
         let q = outcomes.len().max(1) as f64;
-        let mean = |f: &dyn Fn(&QueryOutcome) -> f64| -> f64 {
-            outcomes.iter().map(f).sum::<f64>() / q
-        };
+        let mean =
+            |f: &dyn Fn(&QueryOutcome) -> f64| -> f64 { outcomes.iter().map(f).sum::<f64>() / q };
         Self {
             n_peers: cfg.n_peers,
             alpha: cfg.alpha,
@@ -101,7 +103,10 @@ impl DomainReport {
                 .copied()
                 .unwrap_or(0),
             query_messages: counters.get(&MessageClass::Query).copied().unwrap_or(0)
-                + counters.get(&MessageClass::QueryResponse).copied().unwrap_or(0),
+                + counters
+                    .get(&MessageClass::QueryResponse)
+                    .copied()
+                    .unwrap_or(0),
             reconciliations,
             push_bytes: byte_counters.get(&MessageClass::Push).copied().unwrap_or(0),
             reconciliation_bytes: byte_counters
@@ -193,6 +198,111 @@ impl DomainReport {
             + self.reconciliation_messages
             + self.construction_messages
             + self.query_messages
+    }
+}
+
+/// The aggregate of one *dynamic* multi-domain run: inter-domain lookups
+/// routed while churn, drift and reconciliation were live.
+#[derive(Debug, Clone)]
+pub struct MultiDomainReport {
+    /// Network size.
+    pub n_peers: usize,
+    /// Number of constructed domains.
+    pub n_domains: usize,
+    /// Freshness threshold.
+    pub alpha: f64,
+    /// Horizon in seconds.
+    pub horizon_s: f64,
+    /// Inter-domain lookups actually posed (down origins skip theirs).
+    pub queries: usize,
+    /// Mean network-wide recall over the lookups.
+    pub mean_recall: f64,
+    /// Mean stale answers per lookup (summary-selected peers that were
+    /// down or no longer matching).
+    pub mean_stale_answers: f64,
+    /// Mean network-wide false negatives per lookup.
+    pub mean_false_negatives: f64,
+    /// Mean messages per lookup.
+    pub mean_messages: f64,
+    /// Mean domains visited per lookup.
+    pub mean_domains_visited: f64,
+    /// Fraction of lookups that met their target.
+    pub satisfied_fraction: f64,
+    /// Reconciliation rounds summed over all domains.
+    pub reconciliations: u64,
+    /// Push messages over the horizon (all domains).
+    pub push_messages: u64,
+    /// Reconciliation token hops over the horizon (all domains).
+    pub reconciliation_messages: u64,
+    /// Construction messages (initial localsums + rejoins).
+    pub construction_messages: u64,
+    /// Cache hits observed during inter-domain flooding.
+    pub cache_hits: u64,
+    /// Per-lookup `(virtual time in seconds, recall)` samples, in query
+    /// order — the raw series behind recall-over-time analyses.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl MultiDomainReport {
+    /// Builds the report from a finished kernel run.
+    pub fn from_run(
+        cfg: &SimConfig,
+        n_domains: usize,
+        outcomes: &[(SimTime, MultiDomainOutcome)],
+        ledger: &MessageLedger,
+        reconciliations: u64,
+        cache_hits: u64,
+    ) -> Self {
+        let q = outcomes.len().max(1) as f64;
+        let mean = |f: &dyn Fn(&MultiDomainOutcome) -> f64| -> f64 {
+            outcomes.iter().map(|(_, o)| f(o)).sum::<f64>() / q
+        };
+        Self {
+            n_peers: cfg.n_peers,
+            n_domains,
+            alpha: cfg.alpha,
+            horizon_s: cfg.horizon.as_secs_f64(),
+            queries: outcomes.len(),
+            mean_recall: mean(&|o| o.recall()),
+            mean_stale_answers: mean(&|o| o.stale_answers as f64),
+            mean_false_negatives: mean(&|o| o.false_negatives() as f64),
+            mean_messages: mean(&|o| o.messages as f64),
+            mean_domains_visited: mean(&|o| o.domains_visited as f64),
+            satisfied_fraction: mean(&|o| if o.satisfied { 1.0 } else { 0.0 }),
+            reconciliations,
+            push_messages: ledger.sent(MessageClass::Push),
+            reconciliation_messages: ledger.sent(MessageClass::Reconciliation),
+            construction_messages: ledger.sent(MessageClass::Construction),
+            cache_hits,
+            samples: outcomes
+                .iter()
+                .map(|(t, o)| (t.as_secs_f64(), o.recall()))
+                .collect(),
+        }
+    }
+
+    /// Mean recall of the lookups posed strictly before `t_s` seconds
+    /// (1.0 when none were).
+    pub fn recall_before(&self, t_s: f64) -> f64 {
+        Self::mean_recall_of(self.samples.iter().filter(|(t, _)| *t < t_s))
+    }
+
+    /// Mean recall of the lookups posed at or after `t_s` seconds.
+    pub fn recall_after(&self, t_s: f64) -> f64 {
+        Self::mean_recall_of(self.samples.iter().filter(|(t, _)| *t >= t_s))
+    }
+
+    fn mean_recall_of<'a>(it: impl Iterator<Item = &'a (f64, f64)>) -> f64 {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for (_, r) in it {
+            sum += r;
+            n += 1;
+        }
+        if n == 0 {
+            1.0
+        } else {
+            sum / n as f64
+        }
     }
 }
 

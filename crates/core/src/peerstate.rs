@@ -1,0 +1,397 @@
+//! The shared per-peer / per-domain state machine (§4.2–§4.3), extracted
+//! from the old single-domain simulator so that one event loop can drive
+//! any number of domains.
+//!
+//! * [`PeerState`] — one partner peer: liveness, generated database
+//!   artifacts, and the bookkeeping the maintenance protocols need;
+//! * [`MessageLedger`] — message/byte accounting per [`MessageClass`],
+//!   the paper's §6.1 cost unit;
+//! * [`DomainCore`] — one domain's summary peer state: the global
+//!   summary (GS), the cooperation list (CL) and the push/pull protocol
+//!   transitions. [`crate::domain::DomainSim`] drives exactly one
+//!   `DomainCore`; the unified kernel ([`crate::kernel`]) drives many,
+//!   interleaved in a single virtual clock.
+
+use std::collections::BTreeMap;
+
+use p2psim::network::{MessageClass, NodeId};
+use saintetiq::engine::EngineConfig;
+use saintetiq::hierarchy::SummaryTree;
+use saintetiq::query::proposition::Proposition;
+use saintetiq::wire;
+
+use crate::coop::CooperationList;
+use crate::freshness::Freshness;
+use crate::messages::Message;
+use crate::routing::{route_query_scoped, QueryOutcome, RoutingPolicy};
+use crate::workload::PeerData;
+
+/// The CBK name every generated summary binds to.
+pub const CBK_NAME: &str = "medical-cbk-v1";
+
+/// The label-count shape of the medical CBK's summary grid.
+pub const CBK_SHAPE: [usize; 4] = [3, 3, 3, 12];
+
+/// An empty GS over the medical CBK.
+pub fn empty_gs() -> SummaryTree {
+    SummaryTree::new(CBK_NAME, CBK_SHAPE.to_vec())
+}
+
+/// One partner peer's simulation state.
+#[derive(Debug, Clone)]
+pub struct PeerState {
+    /// Currently connected.
+    pub up: bool,
+    /// The peer's generated database artifacts (summary, match bits).
+    pub data: PeerData,
+    /// Match bits as of the last time this peer's summary was merged
+    /// into its domain's GS (`0` when absent from the GS).
+    pub merged_bits: u32,
+    /// True while a drift event is in flight for this peer — prevents
+    /// rejoin cycles from stacking duplicate drift streams.
+    pub drift_scheduled: bool,
+}
+
+impl PeerState {
+    /// A freshly generated, connected peer with a drift event pending.
+    pub fn new(data: PeerData) -> Self {
+        Self {
+            up: true,
+            merged_bits: data.match_bits,
+            data,
+            drift_scheduled: true,
+        }
+    }
+}
+
+/// Message and wire-byte accounting per class.
+#[derive(Debug, Clone, Default)]
+pub struct MessageLedger {
+    counters: BTreeMap<MessageClass, u64>,
+    byte_counters: BTreeMap<MessageClass, u64>,
+}
+
+impl MessageLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts `n` copies of `msg`: one message and its wire bytes each.
+    pub fn count(&mut self, msg: &Message, n: u64) {
+        let class = msg.class();
+        *self.counters.entry(class).or_insert(0) += n;
+        *self.byte_counters.entry(class).or_insert(0) += n * msg.wire_bytes() as u64;
+    }
+
+    /// Message counts per class.
+    pub fn counters(&self) -> &BTreeMap<MessageClass, u64> {
+        &self.counters
+    }
+
+    /// Wire bytes per class.
+    pub fn byte_counters(&self) -> &BTreeMap<MessageClass, u64> {
+        &self.byte_counters
+    }
+
+    /// Messages sent in one class.
+    pub fn sent(&self, class: MessageClass) -> u64 {
+        self.counters.get(&class).copied().unwrap_or(0)
+    }
+}
+
+/// One domain's summary-peer state: members, GS, CL and the §4.2–§4.3
+/// protocol transitions.
+#[derive(Debug, Clone)]
+pub struct DomainCore {
+    /// The summary peer hosting this domain (`None` for the standalone
+    /// single-domain simulation, whose SP is implicit).
+    pub sp: Option<NodeId>,
+    /// The partner peers (network-global ids).
+    pub members: Vec<NodeId>,
+    /// The cooperation list.
+    pub cl: CooperationList,
+    /// The global summary.
+    pub gs: SummaryTree,
+    /// Reconciliation rounds completed.
+    pub reconciliations: u64,
+    /// Encoded GS size after the last rebuild.
+    pub gs_bytes_last: usize,
+    /// Long-range links to other summary peers (§5.2.2's `k`-degree
+    /// inter-domain shortcuts; empty in the single-domain simulation).
+    pub long_links: Vec<NodeId>,
+}
+
+impl DomainCore {
+    /// An empty domain over the given members.
+    pub fn new(sp: Option<NodeId>, members: Vec<NodeId>) -> Self {
+        Self {
+            sp,
+            members,
+            cl: CooperationList::new(),
+            gs: empty_gs(),
+            reconciliations: 0,
+            gs_bytes_last: 0,
+            long_links: Vec::new(),
+        }
+    }
+
+    /// Initial construction (§4.1): every member ships its `localsum`,
+    /// enters the CL fresh, and the GS is built from scratch.
+    pub fn enroll_all(&mut self, peers: &mut [Option<PeerState>], ledger: &mut MessageLedger) {
+        for i in 0..self.members.len() {
+            let m = self.members[i];
+            let bytes = peers[m.index()]
+                .as_ref()
+                .expect("member has state")
+                .data
+                .summary
+                .len();
+            ledger.count(&Message::LocalSum { bytes }, 1);
+            self.cl.add_partner(m, Freshness::Fresh);
+        }
+        self.rebuild_gs(peers);
+    }
+
+    /// Rebuilds the GS from every live member's current local summary —
+    /// the effect of one full reconciliation round.
+    pub fn rebuild_gs(&mut self, peers: &mut [Option<PeerState>]) {
+        let mut gs = empty_gs();
+        let ecfg = EngineConfig::default();
+        for &m in &self.members {
+            let peer = peers[m.index()].as_mut().expect("member has state");
+            if peer.up {
+                let tree =
+                    wire::decode(&peer.data.summary).expect("locally encoded summaries decode");
+                saintetiq::merge::merge_into(&mut gs, &tree, &ecfg).expect("same CBK everywhere");
+                peer.merged_bits = peer.data.match_bits;
+            } else {
+                peer.merged_bits = 0;
+            }
+        }
+        self.gs_bytes_last = wire::encoded_size(&gs);
+        self.gs = gs;
+    }
+
+    /// §4.2.2's pull phase, fired when the CL crosses α. Returns true
+    /// when a reconciliation round ran.
+    pub fn maybe_reconcile(
+        &mut self,
+        alpha: f64,
+        peers: &mut [Option<PeerState>],
+        ledger: &mut MessageLedger,
+    ) -> bool {
+        if !self.cl.needs_reconciliation(alpha) {
+            return false;
+        }
+        self.reconcile(peers, ledger);
+        true
+    }
+
+    /// Runs one reconciliation round unconditionally: the token ring
+    /// costs one message per live member plus the final store hop, the
+    /// GS is rebuilt, and the CL resets to the live membership.
+    pub fn reconcile(&mut self, peers: &mut [Option<PeerState>], ledger: &mut MessageLedger) {
+        let live = self
+            .members
+            .iter()
+            .filter(|m| peers[m.index()].as_ref().is_some_and(|p| p.up))
+            .count() as u64;
+        self.rebuild_gs(peers);
+        // The token grows along the ring; counting every hop at the
+        // final GS size is a documented upper bound on token bytes.
+        ledger.count(
+            &Message::ReconciliationToken {
+                bytes: self.gs_bytes_last,
+            },
+            live + 1,
+        );
+        self.cl
+            .reconcile(|p| peers[p.index()].as_ref().is_some_and(|s| s.up));
+        self.reconciliations += 1;
+    }
+
+    /// A member's data drifted: its freshness flag is pushed (§4.2.1).
+    /// The caller regenerates the data and re-schedules the drift timer.
+    pub fn on_drift(
+        &mut self,
+        peer: NodeId,
+        alpha: f64,
+        peers: &mut [Option<PeerState>],
+        ledger: &mut MessageLedger,
+    ) {
+        ledger.count(&Message::Push { value: 1 }, 1);
+        self.cl.set_freshness(peer, Freshness::NeedsRefresh);
+        self.maybe_reconcile(alpha, peers, ledger);
+    }
+
+    /// A member leaves gracefully: §4.3's `v = 2` push.
+    pub fn on_leave(
+        &mut self,
+        peer: NodeId,
+        alpha: f64,
+        peers: &mut [Option<PeerState>],
+        ledger: &mut MessageLedger,
+    ) {
+        ledger.count(&Message::Push { value: 2 }, 1);
+        self.cl.set_freshness(peer, Freshness::Unavailable);
+        self.maybe_reconcile(alpha, peers, ledger);
+    }
+
+    /// A member rejoins: ships its `localsum` and awaits the next pull
+    /// before the GS describes it.
+    pub fn on_join(
+        &mut self,
+        peer: NodeId,
+        alpha: f64,
+        peers: &mut [Option<PeerState>],
+        ledger: &mut MessageLedger,
+    ) {
+        let bytes = peers[peer.index()]
+            .as_ref()
+            .expect("member has state")
+            .data
+            .summary
+            .len();
+        ledger.count(&Message::LocalSum { bytes }, 1);
+        self.cl.add_partner(peer, Freshness::NeedsRefresh);
+        self.maybe_reconcile(alpha, peers, ledger);
+    }
+
+    /// Routes one query against this domain's current GS/CL state and
+    /// scores it against exact ground truth over the member set.
+    pub fn route_local(
+        &self,
+        prop: &Proposition,
+        policy: RoutingPolicy,
+        peers: &[Option<PeerState>],
+        template: usize,
+    ) -> QueryOutcome {
+        route_query_scoped(
+            &self.gs,
+            &self.cl,
+            prop,
+            policy,
+            &self.members,
+            |p| match peers[p.index()].as_ref() {
+                Some(st) => (st.up, st.data.matches(template)),
+                None => (false, false),
+            },
+        )
+    }
+
+    /// Live members right now.
+    pub fn live_members<'a>(
+        &'a self,
+        peers: &'a [Option<PeerState>],
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.members
+            .iter()
+            .copied()
+            .filter(|m| peers[m.index()].as_ref().is_some_and(|p| p.up))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_peer_data, make_templates};
+    use fuzzy::bk::BackgroundKnowledge;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn domain_with_peers(n: u32) -> (DomainCore, Vec<Option<PeerState>>) {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let templates = make_templates(2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let peers: Vec<Option<PeerState>> = (0..n)
+            .map(|p| {
+                Some(PeerState::new(generate_peer_data(
+                    &mut rng, p, &bk, &templates, 0.3, 10,
+                )))
+            })
+            .collect();
+        let core = DomainCore::new(None, (0..n).map(NodeId).collect());
+        (core, peers)
+    }
+
+    #[test]
+    fn enroll_builds_gs_and_cl() {
+        let (mut core, mut peers) = domain_with_peers(12);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger);
+        assert_eq!(core.cl.len(), 12);
+        assert_eq!(core.cl.stale_fraction(), 0.0);
+        assert_eq!(core.gs.all_sources().len(), 12);
+        assert_eq!(
+            ledger.sent(MessageClass::Construction),
+            12,
+            "one localsum each"
+        );
+        core.gs.check_invariants();
+    }
+
+    #[test]
+    fn leave_then_reconcile_drops_member_from_gs() {
+        let (mut core, mut peers) = domain_with_peers(10);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger);
+
+        peers[3].as_mut().unwrap().up = false;
+        core.on_leave(NodeId(3), 1.1, &mut peers, &mut ledger);
+        assert_eq!(ledger.sent(MessageClass::Push), 1);
+        assert_eq!(
+            core.gs.all_sources().len(),
+            10,
+            "GS untouched before the pull"
+        );
+
+        core.reconcile(&mut peers, &mut ledger);
+        assert_eq!(core.gs.all_sources().len(), 9, "departed peer expired");
+        assert!(!core.cl.contains(NodeId(3)));
+        assert_eq!(core.cl.stale_fraction(), 0.0);
+        assert_eq!(core.reconciliations, 1);
+        // Ring cost: 9 live members + the final store hop.
+        assert_eq!(ledger.sent(MessageClass::Reconciliation), 10);
+    }
+
+    #[test]
+    fn alpha_threshold_gates_the_pull() {
+        let (mut core, mut peers) = domain_with_peers(10);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger);
+        // 2 of 10 stale: below α = 0.3.
+        for p in [0u32, 1] {
+            core.on_drift(NodeId(p), 0.3, &mut peers, &mut ledger);
+        }
+        assert_eq!(core.reconciliations, 0);
+        // The third crosses 0.3.
+        core.on_drift(NodeId(2), 0.3, &mut peers, &mut ledger);
+        assert_eq!(core.reconciliations, 1);
+        assert_eq!(core.cl.stale_fraction(), 0.0, "reset after the pull");
+    }
+
+    #[test]
+    fn rejoin_enters_cl_stale_until_pull() {
+        let (mut core, mut peers) = domain_with_peers(8);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger);
+
+        peers[5].as_mut().unwrap().up = false;
+        core.on_leave(NodeId(5), 1.1, &mut peers, &mut ledger);
+        core.reconcile(&mut peers, &mut ledger);
+        assert!(!core.cl.contains(NodeId(5)));
+
+        peers[5].as_mut().unwrap().up = true;
+        core.on_join(NodeId(5), 1.1, &mut peers, &mut ledger);
+        assert_eq!(core.cl.freshness(NodeId(5)), Some(Freshness::NeedsRefresh));
+        assert_eq!(
+            core.gs.all_sources().len(),
+            7,
+            "description arrives with the next pull, not the join"
+        );
+        core.reconcile(&mut peers, &mut ledger);
+        assert_eq!(core.gs.all_sources().len(), 8);
+        assert_eq!(core.cl.freshness(NodeId(5)), Some(Freshness::Fresh));
+    }
+}

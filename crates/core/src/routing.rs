@@ -61,7 +61,9 @@ pub struct QueryOutcome {
 /// Routes one query inside a domain and scores it against ground truth.
 ///
 /// `truth(peer)` returns `(is_up, currently_matches)` — the exact state
-/// the paper's accounting compares against.
+/// the paper's accounting compares against. The domain's peers are
+/// `NodeId(0..domain_size)`; use [`route_query_scoped`] when the domain
+/// holds an arbitrary subset of a larger network's ids.
 pub fn route_query<F: Fn(NodeId) -> (bool, bool)>(
     gs: &SummaryTree,
     cl: &CooperationList,
@@ -70,8 +72,24 @@ pub fn route_query<F: Fn(NodeId) -> (bool, bool)>(
     domain_size: usize,
     truth: F,
 ) -> QueryOutcome {
-    let pq: Vec<NodeId> =
-        relevant_sources(gs, prop).into_iter().map(|s| NodeId(s.0)).collect();
+    let members: Vec<NodeId> = (0..domain_size as u32).map(NodeId).collect();
+    route_query_scoped(gs, cl, prop, policy, &members, truth)
+}
+
+/// [`route_query`] over an explicit member set: the shared-kernel entry
+/// point, where a domain's peers carry network-global ids.
+pub fn route_query_scoped<F: Fn(NodeId) -> (bool, bool)>(
+    gs: &SummaryTree,
+    cl: &CooperationList,
+    prop: &Proposition,
+    policy: RoutingPolicy,
+    members: &[NodeId],
+    truth: F,
+) -> QueryOutcome {
+    let pq: Vec<NodeId> = relevant_sources(gs, prop)
+        .into_iter()
+        .map(|s| NodeId(s.0))
+        .collect();
 
     let visited: Vec<NodeId> = match policy {
         RoutingPolicy::All => pq.clone(),
@@ -111,8 +129,7 @@ pub fn route_query<F: Fn(NodeId) -> (bool, bool)>(
 
     // Real accounting against exact ground truth.
     let mut truly_matching: Vec<NodeId> = Vec::new();
-    for i in 0..domain_size {
-        let p = NodeId(i as u32);
+    for &p in members {
         let (up, matches) = truth(p);
         if up && matches {
             truly_matching.push(p);
@@ -127,7 +144,10 @@ pub fn route_query<F: Fn(NodeId) -> (bool, bool)>(
             out.real_fp += 1;
         }
     }
-    out.real_fn = truly_matching.iter().filter(|p| !visited.contains(p)).count();
+    out.real_fn = truly_matching
+        .iter()
+        .filter(|p| !visited.contains(p))
+        .count();
 
     out.messages = 1 + visited.len() as u64 + out.answered as u64;
     out
@@ -174,7 +194,10 @@ mod tests {
             cl.add_partner(NodeId(p), Freshness::Fresh);
         }
         let prop = Proposition {
-            clauses: vec![Clause { attr: 0, set: DescriptorSet::singleton(LabelId(0)) }],
+            clauses: vec![Clause {
+                attr: 0,
+                set: DescriptorSet::singleton(LabelId(0)),
+            }],
         };
         (gs, cl, prop)
     }
@@ -198,8 +221,9 @@ mod tests {
         let (gs, mut cl, prop) = setup();
         cl.set_freshness(NodeId(0), Freshness::NeedsRefresh);
         cl.set_freshness(NodeId(1), Freshness::Unavailable);
-        let out =
-            route_query(&gs, &cl, &prop, RoutingPolicy::FreshOnly, 10, |p| (true, p.0 < 5));
+        let out = route_query(&gs, &cl, &prop, RoutingPolicy::FreshOnly, 10, |p| {
+            (true, p.0 < 5)
+        });
         assert_eq!(out.visited.len(), 3, "two stale P_Q members skipped");
         // Those two still match in truth → real FNs.
         assert_eq!(out.real_fn, 2);

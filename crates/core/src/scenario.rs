@@ -1,7 +1,10 @@
 //! Experiment drivers: one function per figure of §6.2, each returning
-//! printable rows. The `sumq-bench` binaries call these at paper scale;
-//! integration tests call them at reduced scale.
+//! printable rows, plus [`figure_multidomain_churn`] — the unified
+//! kernel's network-scale experiment (inter-domain lookups routed while
+//! churn and reconciliation run). The `sumq-bench` binaries call these
+//! at paper scale; integration tests call them at reduced scale.
 
+use p2psim::churn::LifetimeDistribution;
 use p2psim::network::Network;
 use p2psim::time::SimTime;
 use p2psim::topology::{Graph, TopologyConfig};
@@ -13,7 +16,8 @@ use crate::config::SimConfig;
 use crate::costmodel;
 use crate::domain::DomainSim;
 use crate::error::P2pError;
-use crate::metrics::DomainReport;
+use crate::kernel::{LookupTarget, MultiDomainSim};
+use crate::metrics::{DomainReport, MultiDomainReport};
 use crate::routing::RoutingPolicy;
 
 /// One point of Figure 4 / Figure 5.
@@ -160,7 +164,11 @@ pub fn figure7(
     let mut out = Vec::new();
     for &n in sizes {
         let mut rng = StdRng::seed_from_u64(base.seed ^ (n as u64).wrapping_mul(0x9E3779B9));
-        let topo = TopologyConfig { nodes: n, m: base.topology_m, ..Default::default() };
+        let topo = TopologyConfig {
+            nodes: n,
+            m: base.topology_m,
+            ..Default::default()
+        };
         let net = Network::new(Graph::barabasi_albert(&topo, &mut rng));
 
         // Ground truth: exactly ⌈10 %⌉ of peers match.
@@ -196,6 +204,80 @@ pub fn figure7(
     out
 }
 
+/// One point of the multi-domain churn experiment.
+#[derive(Debug, Clone)]
+pub struct MultiChurnPoint {
+    /// Churn intensity multiplier applied to the base configuration
+    /// (sessions and summary lifetimes shortened by this factor).
+    pub churn_scale: f64,
+    /// Mean network-wide recall over the sampled lookups.
+    pub mean_recall: f64,
+    /// Mean stale answers per lookup.
+    pub mean_stale_answers: f64,
+    /// Mean network-wide false negatives per lookup.
+    pub mean_false_negatives: f64,
+    /// Mean messages per lookup.
+    pub mean_messages: f64,
+    /// Reconciliation rounds across all domains.
+    pub reconciliations: u64,
+    /// Full report for deeper inspection.
+    pub report: MultiDomainReport,
+}
+
+/// Scales every churn clock of `cfg` by `scale`: session lifetimes,
+/// summary lifetimes (the same Table 3 `L`) and downtimes all shrink by
+/// the factor, so turnover and drift accelerate while the steady-state
+/// live fraction stays put.
+pub fn scale_churn(cfg: &SimConfig, scale: f64) -> SimConfig {
+    assert!(scale > 0.0, "churn scale must be positive");
+    let mut out = *cfg;
+    out.lifetime = match cfg.lifetime {
+        LifetimeDistribution::LogNormalMeanMedian { mean_s, median_s } => {
+            LifetimeDistribution::LogNormalMeanMedian {
+                mean_s: mean_s / scale,
+                median_s: median_s / scale,
+            }
+        }
+        LifetimeDistribution::Exponential { mean_s } => LifetimeDistribution::Exponential {
+            mean_s: mean_s / scale,
+        },
+        LifetimeDistribution::Weibull { shape, scale_s } => LifetimeDistribution::Weibull {
+            shape,
+            scale_s: scale_s / scale,
+        },
+    };
+    out.mean_downtime_s = cfg.mean_downtime_s / scale;
+    out
+}
+
+/// The unified-kernel experiment the static system could not express:
+/// inter-domain lookups sampled across the horizon *while* churn, drift
+/// and α-gated reconciliation mutate every domain's GS/CL. One row per
+/// churn scale; recall degrades as the scale grows and recovers with
+/// reconciliation (lower α ⇒ higher recall at equal churn).
+pub fn figure_multidomain_churn(
+    churn_scales: &[f64],
+    base: &SimConfig,
+    domain_target: usize,
+    target: LookupTarget,
+) -> Result<Vec<MultiChurnPoint>, P2pError> {
+    let mut out = Vec::new();
+    for &scale in churn_scales {
+        let cfg = scale_churn(base, scale);
+        let report = MultiDomainSim::new(cfg, domain_target, target)?.run();
+        out.push(MultiChurnPoint {
+            churn_scale: scale,
+            mean_recall: report.mean_recall,
+            mean_stale_answers: report.mean_stale_answers,
+            mean_false_negatives: report.mean_false_negatives,
+            mean_messages: report.mean_messages,
+            reconciliations: report.reconciliations,
+            report,
+        });
+    }
+    Ok(out)
+}
+
 /// A compact run of the full pipeline at small scale — used by tests and
 /// the quickstart example to sanity-check the whole stack end to end.
 pub fn smoke_run(seed: u64) -> Result<DomainReport, P2pError> {
@@ -228,9 +310,18 @@ mod tests {
         }
         // Higher α tolerates more staleness (on average across sizes).
         let avg = |a: f64| {
-            rows.iter().filter(|r| r.alpha == a).map(|r| r.worst_stale).sum::<f64>() / 2.0
+            rows.iter()
+                .filter(|r| r.alpha == a)
+                .map(|r| r.worst_stale)
+                .sum::<f64>()
+                / 2.0
         };
-        assert!(avg(0.8) + 1e-9 >= avg(0.3), "0.8: {} vs 0.3: {}", avg(0.8), avg(0.3));
+        assert!(
+            avg(0.8) + 1e-9 >= avg(0.3),
+            "0.8: {} vs 0.3: {}",
+            avg(0.8),
+            avg(0.3)
+        );
     }
 
     #[test]
@@ -274,6 +365,42 @@ mod tests {
         // The SQ advantage grows with network size.
         let gain = |r: &QueryCostPoint| r.flooding / r.summary_querying;
         assert!(gain(&rows[1]) > gain(&rows[0]) * 0.8);
+    }
+
+    #[test]
+    fn multidomain_churn_rows_cover_scales() {
+        let mut base = quick_base();
+        base.n_peers = 120;
+        let rows = figure_multidomain_churn(&[0.5, 2.0], &base, 20, LookupTarget::Total).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.report.queries > 0);
+            assert!((0.0..=1.0 + 1e-12).contains(&r.mean_recall), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn scale_churn_shrinks_every_clock() {
+        let base = quick_base();
+        let fast = scale_churn(&base, 4.0);
+        match (base.lifetime, fast.lifetime) {
+            (
+                p2psim::churn::LifetimeDistribution::LogNormalMeanMedian {
+                    mean_s: m0,
+                    median_s: d0,
+                },
+                p2psim::churn::LifetimeDistribution::LogNormalMeanMedian {
+                    mean_s: m1,
+                    median_s: d1,
+                },
+            ) => {
+                assert!((m1 - m0 / 4.0).abs() < 1e-9);
+                assert!((d1 - d0 / 4.0).abs() < 1e-9);
+            }
+            other => panic!("distribution family changed: {other:?}"),
+        }
+        assert!((fast.mean_downtime_s - base.mean_downtime_s / 4.0).abs() < 1e-9);
+        fast.validate().unwrap();
     }
 
     #[test]

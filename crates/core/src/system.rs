@@ -1,5 +1,5 @@
-//! The full multi-domain system: §5.2.2's inter-domain query routing
-//! with partial- and total-lookup termination.
+//! The full multi-domain system facade: §5.2.2's inter-domain query
+//! routing with partial- and total-lookup termination.
 //!
 //! When a domain `d_i` answers fewer than the `C_t` results the user
 //! requires, the paper floods outward exploiting *group locality*: the
@@ -11,89 +11,29 @@
 //! number of domains". Routing terminates when enough results are
 //! gathered (*partial lookup*) or the network is covered (*total
 //! lookup*).
+//!
+//! The protocol itself lives in the unified kernel
+//! ([`crate::kernel::SimKernel::route_live`]) and always runs against the
+//! *live* per-domain GS/CL state. [`MultiDomainSystem`] is the frozen
+//! t = 0 view (construction + fresh global summaries, no churn) the
+//! static experiments and tests use; for routing *under* churn see
+//! [`crate::kernel::MultiDomainSim`].
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-
-use fuzzy::bk::BackgroundKnowledge;
-use p2psim::network::{MessageClass, Network, NodeId};
-use p2psim::topology::{Graph, TopologyConfig};
+use p2psim::network::{Network, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use saintetiq::engine::EngineConfig;
-use saintetiq::hierarchy::SummaryTree;
-use saintetiq::query::proposition::{reformulate, SummaryQuery};
-use saintetiq::query::relevant_sources;
-use saintetiq::wire;
 
-use crate::cache::QueryCache;
 use crate::config::SimConfig;
-use crate::construction::{construct_domains, elect_superpeers, Domains};
-use crate::coop::CooperationList;
+use crate::construction::Domains;
 use crate::error::P2pError;
-use crate::freshness::Freshness;
-use crate::workload::{generate_peer_data, make_templates, PeerData, QueryTemplate};
-
-/// How many results a query needs (§5.2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LookupTarget {
-    /// `C_t` result tuples suffice.
-    Partial(usize),
-    /// Every result in the network is wanted.
-    Total,
-}
-
-/// Per-summary-peer state.
-#[derive(Debug)]
-struct SpState {
-    gs: SummaryTree,
-    cl: CooperationList,
-    /// Long-range links to other summary peers (average degree k).
-    long_links: Vec<NodeId>,
-}
-
-/// Outcome of one multi-domain query.
-#[derive(Debug, Clone)]
-pub struct MultiDomainOutcome {
-    /// Result tuples gathered (one per answering peer — the paper's
-    /// high-selectivity assumption).
-    pub results: usize,
-    /// Ground-truth result count network-wide.
-    pub results_total: usize,
-    /// Domains whose GS was queried.
-    pub domains_visited: usize,
-    /// Total messages (intra-domain + flooding + responses).
-    pub messages: u64,
-    /// Whether the lookup target was met.
-    pub satisfied: bool,
-}
-
-impl MultiDomainOutcome {
-    /// Network-wide recall of the query.
-    pub fn recall(&self) -> f64 {
-        if self.results_total == 0 {
-            1.0
-        } else {
-            self.results as f64 / self.results_total as f64
-        }
-    }
-}
+use crate::kernel::SimKernel;
+pub use crate::kernel::{LookupTarget, MultiDomainOutcome};
 
 /// A constructed multi-domain summary-management system over a power-law
 /// topology: the static-network view of the whole paper (construction +
 /// global summaries + inter-domain query processing).
 pub struct MultiDomainSystem {
-    net: Network,
-    domains: Domains,
-    templates: Vec<QueryTemplate>,
-    reformulated: Vec<SummaryQuery>,
-    peers: Vec<Option<PeerData>>,
-    sps: BTreeMap<NodeId, SpState>,
-    flood_ttl: u32,
-    /// §5.2.2 group locality: per-peer answer caches consulted by the
-    /// inter-domain flood before paying for a domain visit.
-    caches: Vec<QueryCache>,
-    /// Cache hits observed across routed queries (metrics).
-    cache_hits: u64,
+    kernel: SimKernel,
 }
 
 impl MultiDomainSystem {
@@ -101,243 +41,44 @@ impl MultiDomainSystem {
     /// per-peer data + local summaries → per-domain global summaries →
     /// SP long-range links.
     pub fn build(cfg: &SimConfig, domain_target: usize) -> Result<Self, P2pError> {
-        cfg.validate()?;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let topo = TopologyConfig { nodes: cfg.n_peers, m: cfg.topology_m, ..Default::default() };
-        let mut net = Network::new(Graph::barabasi_albert(&topo, &mut rng));
-
-        let sp_count = (cfg.n_peers / domain_target.max(2)).max(1);
-        let superpeers = elect_superpeers(&net, sp_count);
-        let domains = construct_domains(&mut net, &superpeers, cfg.sumpeer_ttl);
-
-        let bk = BackgroundKnowledge::medical_cbk();
-        let templates = make_templates(cfg.template_count);
-        let reformulated: Vec<SummaryQuery> = templates
-            .iter()
-            .map(|t| reformulate(&t.query, &bk))
-            .collect::<Result<_, _>>()?;
-
-        // Peer data for every partner.
-        let mut peers: Vec<Option<PeerData>> = vec![None; cfg.n_peers];
-        for (i, assignment) in domains.assignment.iter().enumerate() {
-            if assignment.is_some() {
-                peers[i] = Some(generate_peer_data(
-                    &mut rng,
-                    i as u32,
-                    &bk,
-                    &templates,
-                    cfg.match_fraction,
-                    cfg.records_per_peer,
-                ));
-            }
-        }
-
-        // Global summaries per SP.
-        let mut sps = BTreeMap::new();
-        for &sp in &superpeers {
-            let mut gs = SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
-            let mut cl = CooperationList::new();
-            for member in domains.members(sp) {
-                if let Some(data) = &peers[member.index()] {
-                    let tree =
-                        wire::decode(&data.summary).expect("locally encoded summaries decode");
-                    saintetiq::merge::merge_into(&mut gs, &tree, &EngineConfig::default())
-                        .expect("same CBK");
-                    cl.add_partner(member, Freshness::Fresh);
-                }
-            }
-            sps.insert(sp, SpState { gs, cl, long_links: Vec::new() });
-        }
-
-        // Long-range SP links: each SP knows ~k random other SPs.
-        let sp_ids: Vec<NodeId> = superpeers.clone();
-        let k = cfg.interdomain_k.round() as usize;
-        for &sp in &sp_ids {
-            let mut links = BTreeSet::new();
-            let mut guard = 0;
-            while links.len() < k.min(sp_ids.len().saturating_sub(1)) && guard < 100 {
-                guard += 1;
-                let other = sp_ids[rng.gen_range(0..sp_ids.len())];
-                if other != sp {
-                    links.insert(other);
-                }
-            }
-            sps.get_mut(&sp).expect("sp registered").long_links = links.into_iter().collect();
-        }
-
-        let caches = (0..cfg.n_peers).map(|_| QueryCache::new(8)).collect();
         Ok(Self {
-            net,
-            domains,
-            templates,
-            reformulated,
-            peers,
-            sps,
-            flood_ttl: cfg.flood_ttl.min(2),
-            caches,
-            cache_hits: 0,
+            kernel: SimKernel::networked(*cfg, domain_target, None)?,
         })
     }
 
     /// Cache hits observed during flooding so far.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits
+        self.kernel.cache_hits()
     }
 
     /// The underlying network (counters, topology).
     pub fn network(&self) -> &Network {
-        &self.net
+        self.kernel.net.as_ref().expect("networked kernel")
     }
 
     /// The domain map.
     pub fn domains(&self) -> &Domains {
-        &self.domains
+        self.kernel.topo.as_ref().expect("networked kernel")
     }
 
     /// Number of query templates.
     pub fn template_count(&self) -> usize {
-        self.templates.len()
+        self.kernel.template_count()
     }
 
     /// Ground truth: all peers currently matching `template`.
     pub fn true_matches(&self, template: usize) -> Vec<NodeId> {
-        self.peers
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.as_ref().map(|d| d.matches(template)).unwrap_or(false))
-            .map(|(i, _)| NodeId(i as u32))
-            .collect()
-    }
-
-    /// Queries one domain's GS: relevant peers, answers, messages.
-    fn query_domain(&self, sp: NodeId, template: usize) -> (Vec<NodeId>, usize, u64) {
-        let state = &self.sps[&sp];
-        let prop = &self.reformulated[template].proposition;
-        // Only current partners are contacted: the CL is the membership
-        // authority even when the GS still carries departed peers' cells.
-        let pq: Vec<NodeId> = relevant_sources(&state.gs, prop)
-            .into_iter()
-            .map(|s| NodeId(s.0))
-            .filter(|p| state.cl.contains(*p))
-            .collect();
-        let answering: Vec<NodeId> = pq
-            .iter()
-            .copied()
-            .filter(|p| {
-                self.peers[p.index()]
-                    .as_ref()
-                    .map(|d| d.matches(template))
-                    .unwrap_or(false)
-            })
-            .collect();
-        // 1 query to the SP happens at the caller; here: forwards + hits.
-        let found = answering.len();
-        let messages = pq.len() as u64 + found as u64;
-        (answering, found, messages)
+        self.kernel.true_matches(template)
     }
 
     /// Routes a query posed at `origin` through the network (§5.2.2).
-    pub fn route(&mut self, origin: NodeId, template: usize, target: LookupTarget) -> MultiDomainOutcome {
-        let results_total = self.true_matches(template).len();
-        let need = match target {
-            LookupTarget::Partial(ct) => ct,
-            LookupTarget::Total => usize::MAX,
-        };
-
-        let mut messages: u64 = 0;
-        let mut answered: BTreeSet<NodeId> = BTreeSet::new();
-        let mut visited_domains: BTreeSet<NodeId> = BTreeSet::new();
-        // Domains to process next: discovered through flooding/long links.
-        let mut frontier: VecDeque<NodeId> = VecDeque::new();
-
-        let Some(home_sp) = self.domains.assignment[origin.index()] else {
-            return MultiDomainOutcome {
-                results: 0,
-                results_total,
-                domains_visited: 0,
-                messages: 0,
-                satisfied: false,
-            };
-        };
-        frontier.push_back(home_sp);
-
-        'domains: while let Some(sp) = frontier.pop_front() {
-            if !visited_domains.insert(sp) {
-                continue;
-            }
-            messages += 1; // the query message to this domain's SP
-            let (answering, _found, msgs) = self.query_domain(sp, template);
-            messages += msgs;
-            answered.extend(answering.iter().copied());
-            self.net.count_messages(MessageClass::Query, 1 + msgs);
-            // Group locality (§5.2.2): the originator and the answering
-            // peers remember who answered this template.
-            self.caches[origin.index()].insert(template, answering.clone());
-            for &p in &answering {
-                self.caches[p.index()].insert(template, answering.clone());
-            }
-            if answered.len() >= need {
-                break;
-            }
-
-            // §5.2.2: flood requests to the answering peers and the
-            // originator, who forward the query outside their domain with
-            // a limited TTL; plus the SP's long-range links.
-            let mut flooders: Vec<NodeId> = answering;
-            if self.domains.assignment[origin.index()] == Some(sp) {
-                flooders.push(origin);
-            }
-            self.net
-                .count_messages(MessageClass::Flood, flooders.len() as u64);
-            messages += flooders.len() as u64;
-            for f in flooders {
-                for (reached, _) in self.net.flood_reach(f, self.flood_ttl) {
-                    messages += 1; // each forward is a message
-                    // A reached neighbor with a cached answer for this
-                    // template replies immediately — "its neighbors may
-                    // have cached answers to similar queries".
-                    if let Some(hit) = self.caches[reached.index()].lookup(template) {
-                        let cached = hit.answering.clone();
-                        self.cache_hits += 1;
-                        messages += 1; // the cache-holder's reply
-                        for q in cached {
-                            // Validate against ground truth: stale cache
-                            // entries (peer gone or drifted) add nothing.
-                            let valid = self.peers[q.index()]
-                                .as_ref()
-                                .map(|d| d.matches(template))
-                                .unwrap_or(false);
-                            if valid {
-                                answered.insert(q);
-                            }
-                        }
-                        if answered.len() >= need {
-                            break 'domains;
-                        }
-                    }
-                    if let Some(other_sp) = self.domains.assignment[reached.index()] {
-                        if !visited_domains.contains(&other_sp) {
-                            frontier.push_back(other_sp);
-                        }
-                    }
-                }
-            }
-            let links = self.sps[&sp].long_links.clone();
-            for other in links {
-                messages += 1;
-                if !visited_domains.contains(&other) {
-                    frontier.push_back(other);
-                }
-            }
-        }
-
-        MultiDomainOutcome {
-            results: answered.len(),
-            results_total,
-            domains_visited: visited_domains.len(),
-            messages,
-            satisfied: answered.len() >= need.min(results_total),
-        }
+    pub fn route(
+        &mut self,
+        origin: NodeId,
+        template: usize,
+        target: LookupTarget,
+    ) -> MultiDomainOutcome {
+        self.kernel.route_live(origin, template, target)
     }
 
     /// Convenience: average outcome over `samples` random origins.
@@ -349,6 +90,7 @@ impl MultiDomainSystem {
         seed: u64,
     ) -> (f64, f64, f64) {
         let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.network().len() as u32;
         let mut msgs = 0.0;
         let mut recall = 0.0;
         let mut domains = 0.0;
@@ -356,8 +98,8 @@ impl MultiDomainSystem {
         let mut guard = 0usize;
         while taken < samples && guard < samples * 50 {
             guard += 1;
-            let origin = NodeId(rng.gen_range(0..self.net.len() as u32));
-            if self.domains.assignment[origin.index()].is_none() {
+            let origin = NodeId(rng.gen_range(0..n));
+            if self.domains().assignment[origin.index()].is_none() {
                 continue;
             }
             let out = self.route(origin, template, target);
@@ -366,8 +108,8 @@ impl MultiDomainSystem {
             domains += out.domains_visited as f64;
             taken += 1;
         }
-        let n = taken.max(1) as f64;
-        (msgs / n, recall / n, domains / n)
+        let k = taken.max(1) as f64;
+        (msgs / k, recall / k, domains / k)
     }
 }
 
@@ -409,6 +151,10 @@ mod tests {
         assert_eq!(out.results, out.results_total, "total lookup recall");
         assert!(out.satisfied);
         assert!(out.domains_visited >= 2, "must have crossed domains");
+        assert_eq!(
+            out.stale_answers, 0,
+            "fresh static system has no stale answers"
+        );
     }
 
     #[test]
@@ -441,6 +187,32 @@ mod tests {
     }
 
     #[test]
+    fn flood_ttl_is_respected_not_clamped() {
+        // The configured TTL must reach the routing layer as-is (the old
+        // implementation silently clamped it to 2).
+        let mut base = cfg(250, 6);
+        base.flood_ttl = 1;
+        let mut narrow = MultiDomainSystem::build(&base, 30).unwrap();
+        base.flood_ttl = 4;
+        let mut wide = MultiDomainSystem::build(&base, 30).unwrap();
+        let origin = NodeId(
+            (0..250u32)
+                .find(|&i| narrow.domains().assignment[i as usize].is_some())
+                .expect("some partner"),
+        );
+        let out_narrow = narrow.route(origin, 0, LookupTarget::Total);
+        let out_wide = wide.route(origin, 0, LookupTarget::Total);
+        // A wider flood forwards strictly more messages on the same
+        // topology and query load.
+        assert!(
+            out_wide.messages > out_narrow.messages,
+            "TTL 4 ({}) must out-message TTL 1 ({})",
+            out_wide.messages,
+            out_narrow.messages
+        );
+    }
+
+    #[test]
     fn caches_warm_up_and_cut_costs() {
         let mut sys = MultiDomainSystem::build(&cfg(300, 8), 30).unwrap();
         let origin = NodeId(
@@ -451,7 +223,7 @@ mod tests {
         // Warm the caches with a total lookup, then measure a partial
         // lookup: cached neighbors let it satisfy `C_t` with fewer (or at
         // worst equal) domain visits than the cold system needed.
-        let need = sys.true_matches(0).len().min(10).max(2);
+        let need = sys.true_matches(0).len().clamp(2, 10);
         let mut cold_sys = MultiDomainSystem::build(&cfg(300, 8), 30).unwrap();
         let cold = cold_sys.route(origin, 0, LookupTarget::Partial(need));
 

@@ -11,9 +11,7 @@
 use bytes::Bytes;
 use fuzzy::bk::BackgroundKnowledge;
 use rand::Rng;
-use relation::generator::{
-    avoiding_patient, matching_patient, MatchTarget, PatientDistributions,
-};
+use relation::generator::{avoiding_patient, matching_patient, MatchTarget, PatientDistributions};
 use relation::predicate::Predicate;
 use relation::query::SelectQuery;
 use relation::schema::Schema;
@@ -38,8 +36,13 @@ pub struct QueryTemplate {
 /// Diseases reserved for templates, in template-index order. The
 /// remaining diseases of the CBK form the background pool.
 const TEMPLATE_DISEASES: [&str; 3] = ["malaria", "anorexia", "diabetes"];
-const BACKGROUND_DISEASES: [&str; 5] =
-    ["tuberculosis", "influenza", "bulimia", "hypertension", "asthma"];
+const BACKGROUND_DISEASES: [&str; 5] = [
+    "tuberculosis",
+    "influenza",
+    "bulimia",
+    "hypertension",
+    "asthma",
+];
 
 /// Builds `count` (1..=3) templates over the medical CBK.
 pub fn make_templates(count: usize) -> Vec<QueryTemplate> {
@@ -49,11 +52,11 @@ pub fn make_templates(count: usize) -> Vec<QueryTemplate> {
         .map(|d| QueryTemplate {
             name: format!("q-{d}"),
             disease: d.to_string(),
-            query: SelectQuery::new(
-                vec!["age".into()],
-                vec![Predicate::eq("disease", *d)],
-            ),
-            target: MatchTarget { disease: Some(d.to_string()), ..Default::default() },
+            query: SelectQuery::new(vec!["age".into()], vec![Predicate::eq("disease", *d)]),
+            target: MatchTarget {
+                disease: Some(d.to_string()),
+                ..Default::default()
+            },
         })
         .collect()
 }
@@ -62,7 +65,10 @@ pub fn make_templates(count: usize) -> Vec<QueryTemplate> {
 /// background-pool diseases, so no accidental template match can occur.
 pub fn background_distributions() -> PatientDistributions {
     PatientDistributions {
-        diseases: BACKGROUND_DISEASES.iter().map(|d| (d.to_string(), 1.0)).collect(),
+        diseases: BACKGROUND_DISEASES
+            .iter()
+            .map(|d| (d.to_string(), 1.0))
+            .collect(),
         ..Default::default()
     }
 }
@@ -172,7 +178,10 @@ mod tests {
     fn background_pool_is_disjoint_from_templates() {
         let bg = background_distributions();
         for (d, _) in &bg.diseases {
-            assert!(!TEMPLATE_DISEASES.contains(&d.as_str()), "{d} is a template disease");
+            assert!(
+                !TEMPLATE_DISEASES.contains(&d.as_str()),
+                "{d} is a template disease"
+            );
         }
     }
 
@@ -188,8 +197,7 @@ mod tests {
             let tree = wire::decode(&pd.summary).unwrap();
             for (t, tpl) in templates.iter().enumerate() {
                 let sq = saintetiq::query::proposition::reformulate(&tpl.query, &bk).unwrap();
-                let sources =
-                    saintetiq::query::relevant_sources(&tree, &sq.proposition);
+                let sources = saintetiq::query::relevant_sources(&tree, &sq.proposition);
                 let summary_says = sources.contains(&SourceId(peer));
                 assert_eq!(
                     summary_says,
@@ -208,12 +216,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 2000;
         let matches = (0..n)
-            .filter(|&p| {
-                generate_peer_data(&mut rng, p, &bk, &templates, 0.10, 10).matches(0)
-            })
+            .filter(|&p| generate_peer_data(&mut rng, p, &bk, &templates, 0.10, 10).matches(0))
             .count();
         let rate = matches as f64 / n as f64;
-        assert!((0.07..=0.13).contains(&rate), "match rate {rate} (want ≈0.10)");
+        assert!(
+            (0.07..=0.13).contains(&rate),
+            "match rate {rate} (want ≈0.10)"
+        );
     }
 
     #[test]
@@ -234,6 +243,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let pd = generate_peer_data(&mut rng, 0, &bk, &templates, 0.1, 24);
         assert!(pd.cells <= 24 * 4, "cells {}", pd.cells);
-        assert!(pd.summary.len() < 64 * 1024, "summary bytes {}", pd.summary.len());
+        assert!(
+            pd.summary.len() < 64 * 1024,
+            "summary bytes {}",
+            pd.summary.len()
+        );
     }
 }

@@ -120,10 +120,12 @@ impl AttributeVocabulary {
     /// expanded down the taxonomy for categorical attributes so that
     /// querying an inner term also matches its specializations.
     pub fn labels_for_term(&self, term: &str) -> Result<DescriptorSet, FuzzyError> {
-        let id = self.label_id(term).ok_or_else(|| FuzzyError::UnknownLabel {
-            attribute: self.name().to_string(),
-            label: term.to_string(),
-        })?;
+        let id = self
+            .label_id(term)
+            .ok_or_else(|| FuzzyError::UnknownLabel {
+                attribute: self.name().to_string(),
+                label: term.to_string(),
+            })?;
         Ok(match self {
             Self::Numeric(_) => DescriptorSet::singleton(id),
             Self::Categorical(t) => t.expand_down(DescriptorSet::singleton(id)),
@@ -148,7 +150,11 @@ pub struct BackgroundKnowledge {
 impl BackgroundKnowledge {
     /// Creates an empty BK.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), attributes: Vec::new(), tau: 0.2 }
+        Self {
+            name: name.into(),
+            attributes: Vec::new(),
+            tau: 0.2,
+        }
     }
 
     /// The BK's name (e.g. "medical-cbk-v1"); peers must agree on it.
@@ -200,7 +206,10 @@ impl BackgroundKnowledge {
     /// leaves that cover all the possible combinations of the BK
     /// descriptors").
     pub fn max_cells(&self) -> u128 {
-        self.attributes.iter().map(|a| a.label_count() as u128).product()
+        self.attributes
+            .iter()
+            .map(|a| a.label_count() as u128)
+            .product()
     }
 
     /// The paper's running medical CBK:
@@ -218,7 +227,11 @@ impl BackgroundKnowledge {
             FuzzyPartition::from_cores(
                 "age",
                 (0.0, 120.0),
-                &[("young", 0.0, 17.0), ("adult", 27.0, 55.0), ("old", 65.0, 120.0)],
+                &[
+                    ("young", 0.0, 17.0),
+                    ("adult", 27.0, 55.0),
+                    ("old", 65.0, 120.0),
+                ],
             )
             .expect("static partition"),
         ))
@@ -241,18 +254,27 @@ impl BackgroundKnowledge {
         ))
         .expect("fresh attr");
         let mut disease = Taxonomy::new("disease", "any_disease");
-        let infectious = disease.add_child(disease.root(), "infectious").expect("static");
+        let infectious = disease
+            .add_child(disease.root(), "infectious")
+            .expect("static");
         disease.add_child(infectious, "malaria").expect("static");
-        disease.add_child(infectious, "tuberculosis").expect("static");
+        disease
+            .add_child(infectious, "tuberculosis")
+            .expect("static");
         disease.add_child(infectious, "influenza").expect("static");
-        let eating = disease.add_child(disease.root(), "eating_disorder").expect("static");
+        let eating = disease
+            .add_child(disease.root(), "eating_disorder")
+            .expect("static");
         disease.add_child(eating, "anorexia").expect("static");
         disease.add_child(eating, "bulimia").expect("static");
-        let chronic = disease.add_child(disease.root(), "chronic").expect("static");
+        let chronic = disease
+            .add_child(disease.root(), "chronic")
+            .expect("static");
         disease.add_child(chronic, "diabetes").expect("static");
         disease.add_child(chronic, "hypertension").expect("static");
         disease.add_child(chronic, "asthma").expect("static");
-        bk.push_attribute(AttributeVocabulary::Categorical(disease)).expect("fresh attr");
+        bk.push_attribute(AttributeVocabulary::Categorical(disease))
+            .expect("fresh attr");
         bk
     }
 
@@ -361,9 +383,7 @@ mod tests {
     #[test]
     fn duplicate_attribute_rejected() {
         let mut bk = BackgroundKnowledge::medical_cbk();
-        let dup = AttributeVocabulary::Categorical(
-            Taxonomy::flat("sex", "any", &["x"]).unwrap(),
-        );
+        let dup = AttributeVocabulary::Categorical(Taxonomy::flat("sex", "any", &["x"]).unwrap());
         assert!(bk.push_attribute(dup).is_err());
     }
 

@@ -61,20 +61,29 @@ impl fmt::Display for FuzzyError {
                 crate::descriptor::MAX_LABELS
             ),
             FuzzyError::DuplicateLabel { attribute, label } => {
-                write!(f, "duplicate label `{label}` in vocabulary for `{attribute}`")
+                write!(
+                    f,
+                    "duplicate label `{label}` in vocabulary for `{attribute}`"
+                )
             }
             FuzzyError::NotRuspini { attribute, at, sum } => write!(
                 f,
                 "partition on `{attribute}` is not Ruspini: memberships at {at} sum to {sum}"
             ),
             FuzzyError::UncoveredDomain { attribute, at } => {
-                write!(f, "partition on `{attribute}` does not cover domain point {at}")
+                write!(
+                    f,
+                    "partition on `{attribute}` does not cover domain point {at}"
+                )
             }
             FuzzyError::UnknownAttribute(name) => {
                 write!(f, "attribute `{name}` not found in background knowledge")
             }
             FuzzyError::UnknownLabel { attribute, label } => {
-                write!(f, "label `{label}` not found in vocabulary for `{attribute}`")
+                write!(
+                    f,
+                    "label `{label}` not found in vocabulary for `{attribute}`"
+                )
             }
             FuzzyError::BadTaxonomy(msg) => write!(f, "bad taxonomy: {msg}"),
         }
@@ -91,7 +100,11 @@ mod tests {
     fn display_is_informative() {
         let err = FuzzyError::UnknownAttribute("bmi".into());
         assert!(err.to_string().contains("bmi"));
-        let err = FuzzyError::NotRuspini { attribute: "age".into(), at: 20.0, sum: 1.4 };
+        let err = FuzzyError::NotRuspini {
+            attribute: "age".into(),
+            at: 20.0,
+            sum: 1.4,
+        };
         let s = err.to_string();
         assert!(s.contains("age") && s.contains("1.4"));
     }

@@ -39,7 +39,10 @@ impl LinguisticVariable {
     ) -> Result<Self, FuzzyError> {
         let name = name.into();
         if terms.len() > MAX_LABELS {
-            return Err(FuzzyError::TooManyLabels { attribute: name, got: terms.len() });
+            return Err(FuzzyError::TooManyLabels {
+                attribute: name,
+                got: terms.len(),
+            });
         }
         for (i, t) in terms.iter().enumerate() {
             if terms[..i].iter().any(|u| u.label == t.label) {
@@ -49,7 +52,11 @@ impl LinguisticVariable {
                 });
             }
         }
-        Ok(Self { name, domain, terms })
+        Ok(Self {
+            name,
+            domain,
+            terms,
+        })
     }
 
     /// The variable name.
@@ -74,7 +81,10 @@ impl LinguisticVariable {
 
     /// Looks a label up by name.
     pub fn label_id(&self, label: &str) -> Option<LabelId> {
-        self.terms.iter().position(|t| t.label == label).map(|i| LabelId(i as u16))
+        self.terms
+            .iter()
+            .position(|t| t.label == label)
+            .map(|i| LabelId(i as u16))
     }
 
     /// The label name for an id, if in range.
@@ -104,8 +114,11 @@ impl LinguisticVariable {
     /// reading is pruned and `young` is renormalized to 1, so `t3` lands
     /// entirely in cell `c1` and the cell's tuple count is 2.
     pub fn fuzzify_pruned(&self, x: f64, tau: f64) -> Vec<(LabelId, Grade)> {
-        let mut kept: Vec<(LabelId, Grade)> =
-            self.fuzzify(x).into_iter().filter(|&(_, g)| g >= tau).collect();
+        let mut kept: Vec<(LabelId, Grade)> = self
+            .fuzzify(x)
+            .into_iter()
+            .filter(|&(_, g)| g >= tau)
+            .collect();
         let total: f64 = kept.iter().map(|&(_, g)| g).sum();
         if total > 0.0 {
             for (_, g) in &mut kept {
@@ -216,8 +229,14 @@ mod tests {
             "x",
             (0.0, 1.0),
             vec![
-                Term { label: "a".into(), mf: MembershipFunction::crisp(0.0, 0.5).unwrap() },
-                Term { label: "a".into(), mf: MembershipFunction::crisp(0.5, 1.0).unwrap() },
+                Term {
+                    label: "a".into(),
+                    mf: MembershipFunction::crisp(0.0, 0.5).unwrap(),
+                },
+                Term {
+                    label: "a".into(),
+                    mf: MembershipFunction::crisp(0.5, 1.0).unwrap(),
+                },
             ],
         )
         .unwrap_err();

@@ -42,9 +42,16 @@ impl FuzzyPartition {
             let sum: f64 = var.terms().iter().map(|t| t.mf.eval(x)).sum();
             if (sum - 1.0).abs() > eps {
                 return if sum < eps {
-                    Err(FuzzyError::UncoveredDomain { attribute: var.name().into(), at: x })
+                    Err(FuzzyError::UncoveredDomain {
+                        attribute: var.name().into(),
+                        at: x,
+                    })
                 } else {
-                    Err(FuzzyError::NotRuspini { attribute: var.name().into(), at: x, sum })
+                    Err(FuzzyError::NotRuspini {
+                        attribute: var.name().into(),
+                        at: x,
+                        sum,
+                    })
                 };
             }
         }
@@ -69,7 +76,9 @@ impl FuzzyPartition {
     ) -> Result<LinguisticVariable, FuzzyError> {
         let name = name.into();
         if cores.is_empty() {
-            return Err(FuzzyError::InvalidShape(format!("partition `{name}` needs >=1 core")));
+            return Err(FuzzyError::InvalidShape(format!(
+                "partition `{name}` needs >=1 core"
+            )));
         }
         for w in cores.windows(2) {
             if w[0].2 > w[1].1 {
@@ -85,7 +94,11 @@ impl FuzzyPartition {
             let a = if i == 0 { dlo } else { cores[i - 1].2 };
             let b = if i == 0 { dlo } else { clo };
             let c = if i == cores.len() - 1 { dhi } else { chi };
-            let d = if i == cores.len() - 1 { dhi } else { cores[i + 1].1 };
+            let d = if i == cores.len() - 1 {
+                dhi
+            } else {
+                cores[i + 1].1
+            };
             terms.push(Term {
                 label: label.to_string(),
                 mf: MembershipFunction::trapezoid(a, b, c, d)?,
@@ -109,7 +122,9 @@ impl FuzzyPartition {
         core_frac: f64,
     ) -> Result<LinguisticVariable, FuzzyError> {
         if n == 0 {
-            return Err(FuzzyError::InvalidShape("uniform partition needs n >= 1".into()));
+            return Err(FuzzyError::InvalidShape(
+                "uniform partition needs n >= 1".into(),
+            ));
         }
         if !(0.0 < core_frac && core_frac <= 1.0) {
             return Err(FuzzyError::InvalidShape(format!(
@@ -143,7 +158,11 @@ mod tests {
         let v = FuzzyPartition::from_cores(
             "age",
             (0.0, 120.0),
-            &[("young", 0.0, 17.0), ("adult", 27.0, 55.0), ("old", 65.0, 120.0)],
+            &[
+                ("young", 0.0, 17.0),
+                ("adult", 27.0, 55.0),
+                ("old", 65.0, 120.0),
+            ],
         )
         .unwrap();
         FuzzyPartition::validate(&v, 1024, 1e-9).unwrap();
@@ -156,20 +175,16 @@ mod tests {
 
     #[test]
     fn single_core_partition_is_crisp_everywhere() {
-        let v =
-            FuzzyPartition::from_cores("flag", (0.0, 1.0), &[("always", 0.2, 0.8)]).unwrap();
+        let v = FuzzyPartition::from_cores("flag", (0.0, 1.0), &[("always", 0.2, 0.8)]).unwrap();
         assert_eq!(v.fuzzify(0.0).len(), 1);
         assert!((v.fuzzify(0.99)[0].1 - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn overlapping_cores_rejected() {
-        let err = FuzzyPartition::from_cores(
-            "x",
-            (0.0, 10.0),
-            &[("a", 0.0, 5.0), ("b", 4.0, 10.0)],
-        )
-        .unwrap_err();
+        let err =
+            FuzzyPartition::from_cores("x", (0.0, 10.0), &[("a", 0.0, 5.0), ("b", 4.0, 10.0)])
+                .unwrap_err();
         assert!(matches!(err, FuzzyError::InvalidShape(_)));
     }
 
@@ -180,8 +195,14 @@ mod tests {
             "holey",
             (0.0, 10.0),
             vec![
-                Term { label: "lo".into(), mf: MembershipFunction::crisp(0.0, 4.0).unwrap() },
-                Term { label: "hi".into(), mf: MembershipFunction::crisp(6.0, 10.0).unwrap() },
+                Term {
+                    label: "lo".into(),
+                    mf: MembershipFunction::crisp(0.0, 4.0).unwrap(),
+                },
+                Term {
+                    label: "hi".into(),
+                    mf: MembershipFunction::crisp(6.0, 10.0).unwrap(),
+                },
             ],
         )
         .unwrap();
@@ -195,8 +216,14 @@ mod tests {
             "fat",
             (0.0, 10.0),
             vec![
-                Term { label: "lo".into(), mf: MembershipFunction::crisp(0.0, 6.0).unwrap() },
-                Term { label: "hi".into(), mf: MembershipFunction::crisp(4.0, 10.0).unwrap() },
+                Term {
+                    label: "lo".into(),
+                    mf: MembershipFunction::crisp(0.0, 6.0).unwrap(),
+                },
+                Term {
+                    label: "hi".into(),
+                    mf: MembershipFunction::crisp(4.0, 10.0).unwrap(),
+                },
             ],
         )
         .unwrap();

@@ -38,7 +38,11 @@ impl Taxonomy {
     pub fn new(name: impl Into<String>, root_label: impl Into<String>) -> Self {
         Self {
             name: name.into(),
-            nodes: vec![TaxNode { label: root_label.into(), parent: None, children: vec![] }],
+            nodes: vec![TaxNode {
+                label: root_label.into(),
+                parent: None,
+                children: vec![],
+            }],
         }
     }
 
@@ -91,17 +95,27 @@ impl Taxonomy {
             )));
         }
         if self.nodes.iter().any(|n| n.label == label) {
-            return Err(FuzzyError::DuplicateLabel { attribute: self.name.clone(), label });
+            return Err(FuzzyError::DuplicateLabel {
+                attribute: self.name.clone(),
+                label,
+            });
         }
         let id = LabelId(self.nodes.len() as u16);
-        self.nodes.push(TaxNode { label, parent: Some(parent.0), children: vec![] });
+        self.nodes.push(TaxNode {
+            label,
+            parent: Some(parent.0),
+            children: vec![],
+        });
         self.nodes[parent.index()].children.push(id.0);
         Ok(id)
     }
 
     /// Looks a term up by label.
     pub fn label_id(&self, label: &str) -> Option<LabelId> {
-        self.nodes.iter().position(|n| n.label == label).map(|i| LabelId(i as u16))
+        self.nodes
+            .iter()
+            .position(|n| n.label == label)
+            .map(|i| LabelId(i as u16))
     }
 
     /// The label of a term id.
@@ -111,7 +125,10 @@ impl Taxonomy {
 
     /// The parent of a term (None for the root).
     pub fn parent(&self, id: LabelId) -> Option<LabelId> {
-        self.nodes.get(id.index()).and_then(|n| n.parent).map(LabelId)
+        self.nodes
+            .get(id.index())
+            .and_then(|n| n.parent)
+            .map(LabelId)
     }
 
     /// The children of a term.
@@ -124,7 +141,10 @@ impl Taxonomy {
 
     /// True when the term has no children.
     pub fn is_leaf(&self, id: LabelId) -> bool {
-        self.nodes.get(id.index()).map(|n| n.children.is_empty()).unwrap_or(false)
+        self.nodes
+            .get(id.index())
+            .map(|n| n.children.is_empty())
+            .unwrap_or(false)
     }
 
     /// All leaves, in id order.
@@ -247,8 +267,11 @@ mod tests {
     fn ancestors_walk_to_root() {
         let t = diseases();
         let malaria = t.label_id("malaria").unwrap();
-        let anc: Vec<&str> =
-            t.ancestors(malaria).iter().map(|&l| t.label_name(l).unwrap()).collect();
+        let anc: Vec<&str> = t
+            .ancestors(malaria)
+            .iter()
+            .map(|&l| t.label_name(l).unwrap())
+            .collect();
         assert_eq!(anc, vec!["infectious", "disease"]);
     }
 

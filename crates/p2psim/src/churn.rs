@@ -41,7 +41,10 @@ pub enum LifetimeDistribution {
 impl LifetimeDistribution {
     /// The paper's Table 3 distribution.
     pub fn paper_default() -> Self {
-        Self::LogNormalMeanMedian { mean_s: 3.0 * 3600.0, median_s: 3600.0 }
+        Self::LogNormalMeanMedian {
+            mean_s: 3.0 * 3600.0,
+            median_s: 3600.0,
+        }
     }
 
     /// Draws one session length.
@@ -116,9 +119,21 @@ impl SessionSchedule {
         cfg: &ChurnConfig,
         rng: &mut R,
     ) -> Self {
+        let nodes: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        Self::generate_for(&nodes, horizon, cfg, rng)
+    }
+
+    /// Generates a schedule for an explicit node set — the multi-domain
+    /// kernel churns partner peers only (summary peers stay up, §4.3's
+    /// SP dynamicity being a separate protocol).
+    pub fn generate_for<R: Rng + ?Sized>(
+        nodes: &[NodeId],
+        horizon: SimTime,
+        cfg: &ChurnConfig,
+        rng: &mut R,
+    ) -> Self {
         let mut events: Vec<(SimTime, SessionEvent)> = Vec::new();
-        for i in 0..n {
-            let node = NodeId(i as u32);
+        for &node in nodes {
             let mut t = SimTime::ZERO;
             // First session: already in progress at t=0.
             loop {
@@ -195,8 +210,12 @@ mod tests {
         // Per node: strictly alternating depart / join starting with a
         // departure (everyone starts up).
         for i in 0..50u32 {
-            let mine: Vec<&SessionEvent> =
-                s.events().iter().filter(|(_, e)| e.node() == NodeId(i)).map(|(_, e)| e).collect();
+            let mine: Vec<&SessionEvent> = s
+                .events()
+                .iter()
+                .filter(|(_, e)| e.node() == NodeId(i))
+                .map(|(_, e)| e)
+                .collect();
             let mut expect_departure = true;
             for e in mine {
                 match e {
@@ -224,18 +243,33 @@ mod tests {
     #[test]
     fn failure_fraction_zero_means_no_failures() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = ChurnConfig { failure_fraction: 0.0, ..Default::default() };
+        let cfg = ChurnConfig {
+            failure_fraction: 0.0,
+            ..Default::default()
+        };
         let s = SessionSchedule::generate(80, SimTime::from_hours(24), &cfg, &mut rng);
-        assert!(s.events().iter().all(|(_, e)| !matches!(e, SessionEvent::Fail(_))));
+        assert!(s
+            .events()
+            .iter()
+            .all(|(_, e)| !matches!(e, SessionEvent::Fail(_))));
     }
 
     #[test]
     fn failure_fraction_one_means_only_failures() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = ChurnConfig { failure_fraction: 1.0, ..Default::default() };
+        let cfg = ChurnConfig {
+            failure_fraction: 1.0,
+            ..Default::default()
+        };
         let s = SessionSchedule::generate(80, SimTime::from_hours(24), &cfg, &mut rng);
-        assert!(s.events().iter().all(|(_, e)| !matches!(e, SessionEvent::Leave(_))));
-        assert!(s.events().iter().any(|(_, e)| matches!(e, SessionEvent::Fail(_))));
+        assert!(s
+            .events()
+            .iter()
+            .all(|(_, e)| !matches!(e, SessionEvent::Leave(_))));
+        assert!(s
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, SessionEvent::Fail(_))));
     }
 
     #[test]
@@ -257,7 +291,9 @@ mod tests {
     fn paper_distribution_sampling() {
         let mut rng = StdRng::seed_from_u64(6);
         let d = LifetimeDistribution::paper_default();
-        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng).as_secs_f64()).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| d.sample(&mut rng).as_secs_f64())
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let mut sorted = xs.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());

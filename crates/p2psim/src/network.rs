@@ -58,7 +58,12 @@ impl Network {
     /// Wraps a topology with every node initially up.
     pub fn new(graph: Graph) -> Self {
         let n = graph.len();
-        Self { graph, up: vec![true; n], counters: BTreeMap::new(), total_sent: 0 }
+        Self {
+            graph,
+            up: vec![true; n],
+            counters: BTreeMap::new(),
+            total_sent: 0,
+        }
     }
 
     /// The underlying topology.
@@ -259,7 +264,10 @@ mod tests {
 
     fn net(n: usize, seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = TopologyConfig { nodes: n, ..Default::default() };
+        let cfg = TopologyConfig {
+            nodes: n,
+            ..Default::default()
+        };
         Network::new(Graph::barabasi_albert(&cfg, &mut rng))
     }
 

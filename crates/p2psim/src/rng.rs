@@ -102,8 +102,9 @@ mod tests {
     #[test]
     fn lognormal_hits_mean_and_median() {
         let mut r = rng();
-        let xs: Vec<f64> =
-            (0..60_000).map(|_| lognormal_mean_median(&mut r, 180.0, 60.0)).collect();
+        let xs: Vec<f64> = (0..60_000)
+            .map(|_| lognormal_mean_median(&mut r, 180.0, 60.0))
+            .collect();
         let (mean, median) = sample_stats(&xs);
         assert!((median - 60.0).abs() < 3.0, "median {median} (want 60)");
         assert!((mean - 180.0).abs() < 15.0, "mean {mean} (want 180)");
@@ -129,7 +130,10 @@ mod tests {
         let xs: Vec<f64> = (0..40_000).map(|_| exponential(&mut r, 5.0)).collect();
         let (mean, median) = sample_stats(&xs);
         assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
-        assert!((median - 5.0 * 2f64.ln().abs()).abs() < 0.2, "median {median}");
+        assert!(
+            (median - 5.0 * 2f64.ln().abs()).abs() < 0.2,
+            "median {median}"
+        );
     }
 
     #[test]

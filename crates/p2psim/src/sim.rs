@@ -84,6 +84,29 @@ impl<E> Simulator<E> {
         self.queue.push(self.now + delay, payload);
     }
 
+    /// Timestamp of the next pending event, if any (ignores the horizon).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event only if it is due at or before `t` (and within
+    /// the horizon), advancing the clock. Lets a caller interleave its own
+    /// probes with event processing at a chosen virtual time.
+    pub fn next_event_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        let due = self.peek_time()?;
+        if due > t {
+            return None;
+        }
+        self.next_event()
+    }
+
+    /// Advances the clock to `t` without processing events (no-op if `t`
+    /// is in the past). Used after draining events ≤ `t` so probes read a
+    /// consistent "now".
+    pub fn fast_forward(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
     /// Pops the next event, advancing the clock. Returns `None` when the
     /// queue is empty or the horizon has been crossed.
     pub fn next_event(&mut self) -> Option<(SimTime, E)> {

@@ -15,7 +15,12 @@ pub struct Accumulator {
 impl Accumulator {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -97,7 +102,10 @@ impl TimeSeries {
     /// Creates a series with the given bucket width.
     pub fn new(bucket: SimTime) -> Self {
         assert!(bucket.0 > 0, "bucket width must be positive");
-        Self { bucket, buckets: Vec::new() }
+        Self {
+            bucket,
+            buckets: Vec::new(),
+        }
     }
 
     /// Adds `value` at time `t`.

@@ -64,7 +64,10 @@ impl Default for TopologyConfig {
 impl Graph {
     /// An empty graph of `n` isolated nodes at the origin.
     pub fn empty(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], pos: vec![(0.0, 0.0); n] }
+        Self {
+            adj: vec![Vec::new(); n],
+            pos: vec![(0.0, 0.0); n],
+        }
     }
 
     /// Barabási–Albert preferential attachment (BRITE's power-law mode).
@@ -217,7 +220,10 @@ impl Graph {
 
     /// Latency of the direct link `a → b` (None when not adjacent).
     pub fn link_latency(&self, a: NodeId, b: NodeId) -> Option<SimTime> {
-        self.adj[a.0 as usize].iter().find(|e| e.node == b).map(|e| e.latency)
+        self.adj[a.0 as usize]
+            .iter()
+            .find(|e| e.node == b)
+            .map(|e| e.latency)
     }
 
     /// Total number of undirected edges.
@@ -294,7 +300,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(n: usize) -> TopologyConfig {
-        TopologyConfig { nodes: n, ..Default::default() }
+        TopologyConfig {
+            nodes: n,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -312,7 +321,10 @@ mod tests {
         let g = Graph::barabasi_albert(&cfg(2000), &mut rng);
         assert!(g.is_connected());
         let slope = g.power_law_slope();
-        assert!(slope < -1.0, "expected heavy-tailed degree dist, slope {slope}");
+        assert!(
+            slope < -1.0,
+            "expected heavy-tailed degree dist, slope {slope}"
+        );
         // Hubs exist: max degree far above the average.
         let max_deg = g.degree_histogram().len() - 1;
         assert!(max_deg > 20, "max degree {max_deg}");
@@ -370,7 +382,10 @@ mod tests {
         g.add_edge(NodeId(2), NodeId(2), SimTime::from_millis(1));
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.degree(NodeId(2)), 0);
-        assert_eq!(g.link_latency(NodeId(0), NodeId(1)), Some(SimTime::from_millis(1)));
+        assert_eq!(
+            g.link_latency(NodeId(0), NodeId(1)),
+            Some(SimTime::from_millis(1))
+        );
         assert_eq!(g.link_latency(NodeId(0), NodeId(2)), None);
     }
 

@@ -109,7 +109,11 @@ pub fn read_csv<R: Read>(reader: R, schema: Schema) -> Result<Table, RelationErr
             .map(|(raw, attr)| {
                 parse_value(raw, attr.ty).map_err(|e| match e {
                     RelationError::TypeMismatch { expected, got, .. } => {
-                        RelationError::TypeMismatch { attribute: attr.name.clone(), expected, got }
+                        RelationError::TypeMismatch {
+                            attribute: attr.name.clone(),
+                            expected,
+                            got,
+                        }
                     }
                     other => other,
                 })
@@ -124,8 +128,12 @@ pub fn read_csv<R: Read>(reader: R, schema: Schema) -> Result<Table, RelationErr
 /// Writes a table as CSV (header + rows, buffered).
 pub fn write_csv<W: Write>(table: &Table, writer: W) -> std::io::Result<()> {
     let mut out = BufWriter::new(writer);
-    let header: Vec<String> =
-        table.schema().attributes().iter().map(|a| quote(&a.name)).collect();
+    let header: Vec<String> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| quote(&a.name))
+        .collect();
     writeln!(out, "{}", header.join(","))?;
     for (_, row) in table.iter() {
         let fields: Vec<String> = row
@@ -165,7 +173,10 @@ mod tests {
     fn quoting_and_escapes() {
         assert_eq!(split_record("a,b,c"), vec!["a", "b", "c"]);
         assert_eq!(split_record(r#""a,b",c"#), vec!["a,b", "c"]);
-        assert_eq!(split_record(r#""he said ""hi""",x"#), vec![r#"he said "hi""#, "x"]);
+        assert_eq!(
+            split_record(r#""he said ""hi""",x"#),
+            vec![r#"he said "hi""#, "x"]
+        );
         assert_eq!(quote("plain"), "plain");
         assert_eq!(quote("a,b"), "\"a,b\"");
         assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");

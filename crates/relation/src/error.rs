@@ -42,9 +42,16 @@ impl fmt::Display for RelationError {
             RelationError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
             RelationError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
             RelationError::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
             }
-            RelationError::TypeMismatch { attribute, expected, got } => {
+            RelationError::TypeMismatch {
+                attribute,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute `{attribute}` expects {expected}, got {got}")
             }
             RelationError::UnknownTuple(id) => write!(f, "tuple {id} not found"),
@@ -63,7 +70,11 @@ mod tests {
 
     #[test]
     fn display_mentions_context() {
-        let e = RelationError::TypeMismatch { attribute: "age".into(), expected: "int", got: "text" };
+        let e = RelationError::TypeMismatch {
+            attribute: "age".into(),
+            expected: "int",
+            got: "text",
+        };
         let s = e.to_string();
         assert!(s.contains("age") && s.contains("int") && s.contains("text"));
     }

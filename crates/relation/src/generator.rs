@@ -130,7 +130,11 @@ fn weighted_choice<'a, R: Rng + ?Sized>(rng: &mut R, items: &'a [(String, f64)])
 /// Generates one background patient row from the distributions.
 pub fn random_patient<R: Rng + ?Sized>(rng: &mut R, dist: &PatientDistributions) -> Vec<Value> {
     let age = clamped_normal(rng, dist.age.0, dist.age.1, dist.age_range).round();
-    let sex = if rng.gen_bool(dist.female_prob.clamp(0.0, 1.0)) { "female" } else { "male" };
+    let sex = if rng.gen_bool(dist.female_prob.clamp(0.0, 1.0)) {
+        "female"
+    } else {
+        "male"
+    };
     let bmi = clamped_normal(rng, dist.bmi.0, dist.bmi.1, dist.bmi_range);
     let disease = weighted_choice(rng, &dist.diseases);
     vec![
@@ -152,7 +156,13 @@ pub fn matching_patient<R: Rng + ?Sized>(
     let age = rng.gen_range(age_lo..=age_hi).round();
     let sex = match &target.sex {
         Some(s) => s.clone(),
-        None => if rng.gen_bool(dist.female_prob) { "female".into() } else { "male".into() },
+        None => {
+            if rng.gen_bool(dist.female_prob) {
+                "female".into()
+            } else {
+                "male".into()
+            }
+        }
     };
     let (bmi_lo, bmi_hi) = target.bmi.unwrap_or(dist.bmi_range);
     let bmi = rng.gen_range(bmi_lo..=bmi_hi);
@@ -181,9 +191,16 @@ pub fn avoiding_patient<R: Rng + ?Sized>(
 ) -> Vec<Value> {
     let mut row = random_patient(rng, dist);
     if let Some(d) = &target.disease {
-        let pool: Vec<(String, f64)> =
-            dist.diseases.iter().filter(|(n, _)| n != d).cloned().collect();
-        assert!(!pool.is_empty(), "cannot avoid the only disease in the pool");
+        let pool: Vec<(String, f64)> = dist
+            .diseases
+            .iter()
+            .filter(|(n, _)| n != d)
+            .cloned()
+            .collect();
+        assert!(
+            !pool.is_empty(),
+            "cannot avoid the only disease in the pool"
+        );
         row[3] = Value::text(weighted_choice(rng, &pool));
         return row;
     }
@@ -239,7 +256,8 @@ pub fn patient_table<R: Rng + ?Sized>(
     let hits = guaranteed_matches.min(n);
     let unconstrained = *target == MatchTarget::default();
     for _ in 0..hits {
-        t.insert(matching_patient(rng, dist, target)).expect("generated row conforms");
+        t.insert(matching_patient(rng, dist, target))
+            .expect("generated row conforms");
     }
     for _ in hits..n {
         // An unconstrained target admits every row, so "avoiding" it is
@@ -269,7 +287,9 @@ pub fn numeric_table<R: Rng + ?Sized>(
     let schema = Schema::new(attrs).expect("unique generated names");
     let mut t = Table::new(schema);
     for _ in 0..n {
-        let row = (0..arity).map(|_| Value::Float(rng.gen_range(range.0..range.1))).collect();
+        let row = (0..arity)
+            .map(|_| Value::Float(rng.gen_range(range.0..range.1)))
+            .collect();
         t.insert(row).expect("generated row conforms");
     }
     t.drain_changes();
@@ -322,10 +342,22 @@ mod tests {
         let mut r = rng();
         let dist = PatientDistributions::default();
         for target in [
-            MatchTarget { disease: Some("malaria".into()), ..Default::default() },
-            MatchTarget { sex: Some("female".into()), ..Default::default() },
-            MatchTarget { age: Some((20.0, 40.0)), ..Default::default() },
-            MatchTarget { bmi: Some((18.0, 25.0)), ..Default::default() },
+            MatchTarget {
+                disease: Some("malaria".into()),
+                ..Default::default()
+            },
+            MatchTarget {
+                sex: Some("female".into()),
+                ..Default::default()
+            },
+            MatchTarget {
+                age: Some((20.0, 40.0)),
+                ..Default::default()
+            },
+            MatchTarget {
+                bmi: Some((18.0, 25.0)),
+                ..Default::default()
+            },
         ] {
             for _ in 0..200 {
                 let row = avoiding_patient(&mut r, &dist, &target);
@@ -338,7 +370,10 @@ mod tests {
     fn patient_table_split() {
         let mut r = rng();
         let dist = PatientDistributions::default();
-        let target = MatchTarget { disease: Some("malaria".into()), ..Default::default() };
+        let target = MatchTarget {
+            disease: Some("malaria".into()),
+            ..Default::default()
+        };
         let t = patient_table(&mut r, 50, &dist, &target, 10);
         assert_eq!(t.len(), 50);
         let matches = t.iter().filter(|(_, row)| target.admits(row)).count();
@@ -377,7 +412,10 @@ mod tests {
     #[test]
     fn determinism_under_same_seed() {
         let dist = PatientDistributions::default();
-        let target = MatchTarget { disease: Some("asthma".into()), ..Default::default() };
+        let target = MatchTarget {
+            disease: Some("asthma".into()),
+            ..Default::default()
+        };
         let a = patient_table(&mut rng(), 20, &dist, &target, 5);
         let b = patient_table(&mut rng(), 20, &dist, &target, 5);
         assert_eq!(a.tuples(), b.tuples());

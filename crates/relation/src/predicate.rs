@@ -55,7 +55,11 @@ pub struct Predicate {
 impl Predicate {
     /// Convenience constructor.
     pub fn new(attribute: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
-        Self { attribute: attribute.into(), op, value: value.into() }
+        Self {
+            attribute: attribute.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Shorthand for an equality predicate.
@@ -130,7 +134,12 @@ mod tests {
     #[test]
     fn all_operators() {
         let s = Schema::patient();
-        let row = vec![Value::Int(20), Value::text("male"), Value::Float(20.0), Value::text("malaria")];
+        let row = vec![
+            Value::Int(20),
+            Value::text("male"),
+            Value::Float(20.0),
+            Value::text("malaria"),
+        ];
         for (op, want) in [
             (CompareOp::Eq, true),
             (CompareOp::Ne, false),
@@ -147,7 +156,12 @@ mod tests {
     #[test]
     fn null_collapses_to_false() {
         let s = Schema::patient();
-        let row = vec![Value::Null, Value::text("male"), Value::Float(1.0), Value::text("x")];
+        let row = vec![
+            Value::Null,
+            Value::text("male"),
+            Value::Float(1.0),
+            Value::text("x"),
+        ];
         let p = Predicate::new("age", CompareOp::Lt, 100i64);
         assert!(!p.matches(&s, &row).unwrap());
     }
@@ -155,7 +169,12 @@ mod tests {
     #[test]
     fn type_confusion_collapses_to_false() {
         let s = Schema::patient();
-        let row = vec![Value::Int(5), Value::text("male"), Value::Float(1.0), Value::text("x")];
+        let row = vec![
+            Value::Int(5),
+            Value::text("male"),
+            Value::Float(1.0),
+            Value::text("x"),
+        ];
         let p = Predicate::eq("age", "five");
         assert!(!p.matches(&s, &row).unwrap());
     }
@@ -163,9 +182,17 @@ mod tests {
     #[test]
     fn unknown_attribute_errors() {
         let s = Schema::patient();
-        let row = vec![Value::Int(5), Value::text("m"), Value::Float(1.0), Value::text("x")];
+        let row = vec![
+            Value::Int(5),
+            Value::text("m"),
+            Value::Float(1.0),
+            Value::text("x"),
+        ];
         let p = Predicate::eq("height", 5i64);
-        assert!(matches!(p.matches(&s, &row), Err(RelationError::UnknownAttribute(_))));
+        assert!(matches!(
+            p.matches(&s, &row),
+            Err(RelationError::UnknownAttribute(_))
+        ));
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct SelectQuery {
 impl SelectQuery {
     /// Creates a query with a projection list.
     pub fn new(projection: Vec<String>, predicates: Vec<Predicate>) -> Self {
-        Self { projection, predicates }
+        Self {
+            projection,
+            predicates,
+        }
     }
 
     /// The paper's §5.1 example:

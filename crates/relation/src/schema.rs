@@ -55,7 +55,10 @@ pub struct Attribute {
 impl Attribute {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
-        Self { name: name.into(), ty }
+        Self {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -157,21 +160,42 @@ mod tests {
     fn row_validation() {
         let s = Schema::patient();
         // Table 1, tuple t2.
-        let good = vec![Value::Int(20), Value::text("male"), Value::Float(20.0), Value::text("malaria")];
+        let good = vec![
+            Value::Int(20),
+            Value::text("male"),
+            Value::Float(20.0),
+            Value::text("malaria"),
+        ];
         s.check_row(&good).unwrap();
 
         let short = vec![Value::Int(1)];
-        assert!(matches!(s.check_row(&short), Err(RelationError::ArityMismatch { .. })));
+        assert!(matches!(
+            s.check_row(&short),
+            Err(RelationError::ArityMismatch { .. })
+        ));
 
-        let bad = vec![Value::text("x"), Value::text("male"), Value::Float(1.0), Value::text("y")];
-        assert!(matches!(s.check_row(&bad), Err(RelationError::TypeMismatch { .. })));
+        let bad = vec![
+            Value::text("x"),
+            Value::text("male"),
+            Value::Float(1.0),
+            Value::text("y"),
+        ];
+        assert!(matches!(
+            s.check_row(&bad),
+            Err(RelationError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
     fn widening_and_null_admitted() {
         let s = Schema::patient();
         // Int bmi is admitted under Float; NULL anywhere is admitted.
-        let row = vec![Value::Int(20), Value::Null, Value::Int(20), Value::text("malaria")];
+        let row = vec![
+            Value::Int(20),
+            Value::Null,
+            Value::Int(20),
+            Value::text("malaria"),
+        ];
         s.check_row(&row).unwrap();
     }
 

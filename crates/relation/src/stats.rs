@@ -29,7 +29,13 @@ impl Default for AttributeStats {
 impl AttributeStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, mean: 0.0, m2: 0.0 }
+        Self {
+            count: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+        }
     }
 
     /// Adds one observation with weight 1.
@@ -108,7 +114,13 @@ impl AttributeStats {
 
     /// Rebuilds an accumulator from [`AttributeStats::raw_parts`] output.
     pub fn from_raw_parts(count: f64, min: f64, max: f64, mean: f64, m2: f64) -> Self {
-        Self { count, min, max, mean, m2 }
+        Self {
+            count,
+            min,
+            max,
+            mean,
+            m2,
+        }
     }
 }
 

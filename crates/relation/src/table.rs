@@ -56,7 +56,13 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Self { schema, rows: BTreeMap::new(), next_id: 1, revision: 0, pending: Vec::new() }
+        Self {
+            schema,
+            rows: BTreeMap::new(),
+            next_id: 1,
+            revision: 0,
+            pending: Vec::new(),
+        }
     }
 
     /// The paper's Table 1 instance: three patients.
@@ -113,13 +119,20 @@ impl Table {
         self.next_id += 1;
         self.rows.insert(id, values);
         self.revision += 1;
-        self.pending.push(TableChange { id, kind: ChangeKind::Insert, revision: self.revision });
+        self.pending.push(TableChange {
+            id,
+            kind: ChangeKind::Insert,
+            revision: self.revision,
+        });
         Ok(id)
     }
 
     /// Deletes a tuple by id.
     pub fn delete(&mut self, id: TupleId) -> Result<(), RelationError> {
-        let old = self.rows.remove(&id).ok_or(RelationError::UnknownTuple(id.0))?;
+        let old = self
+            .rows
+            .remove(&id)
+            .ok_or(RelationError::UnknownTuple(id.0))?;
         self.revision += 1;
         self.pending.push(TableChange {
             id,
@@ -132,7 +145,10 @@ impl Table {
     /// Replaces a tuple's values.
     pub fn update(&mut self, id: TupleId, values: Vec<Value>) -> Result<(), RelationError> {
         self.schema.check_row(&values)?;
-        let slot = self.rows.get_mut(&id).ok_or(RelationError::UnknownTuple(id.0))?;
+        let slot = self
+            .rows
+            .get_mut(&id)
+            .ok_or(RelationError::UnknownTuple(id.0))?;
         let old = std::mem::replace(slot, values);
         self.revision += 1;
         self.pending.push(TableChange {
@@ -145,7 +161,10 @@ impl Table {
 
     /// A tuple by id.
     pub fn get(&self, id: TupleId) -> Option<Tuple> {
-        self.rows.get(&id).map(|v| Tuple { id, values: v.clone() })
+        self.rows.get(&id).map(|v| Tuple {
+            id,
+            values: v.clone(),
+        })
     }
 
     /// Iterates over live tuples in id order without cloning values.
@@ -157,7 +176,10 @@ impl Table {
     pub fn tuples(&self) -> Vec<Tuple> {
         self.rows
             .iter()
-            .map(|(&id, v)| Tuple { id, values: v.clone() })
+            .map(|(&id, v)| Tuple {
+                id,
+                values: v.clone(),
+            })
             .collect()
     }
 
@@ -191,10 +213,20 @@ mod tests {
     fn insert_assigns_increasing_ids_and_revisions() {
         let mut t = Table::new(Schema::patient());
         let a = t
-            .insert(vec![Value::Int(1), Value::text("f"), Value::Float(20.0), Value::text("x")])
+            .insert(vec![
+                Value::Int(1),
+                Value::text("f"),
+                Value::Float(20.0),
+                Value::text("x"),
+            ])
             .unwrap();
         let b = t
-            .insert(vec![Value::Int(2), Value::text("m"), Value::Float(21.0), Value::text("y")])
+            .insert(vec![
+                Value::Int(2),
+                Value::text("m"),
+                Value::Float(21.0),
+                Value::text("y"),
+            ])
             .unwrap();
         assert!(b > a);
         assert_eq!(t.revision(), 2);
@@ -205,8 +237,16 @@ mod tests {
         let mut t = Table::patient_table1();
         t.drain_changes();
         let id = TupleId(1);
-        t.update(id, vec![Value::Int(16), Value::text("female"), Value::Float(18.0), Value::text("anorexia")])
-            .unwrap();
+        t.update(
+            id,
+            vec![
+                Value::Int(16),
+                Value::text("female"),
+                Value::Float(18.0),
+                Value::text("anorexia"),
+            ],
+        )
+        .unwrap();
         t.delete(TupleId(2)).unwrap();
         let changes = t.drain_changes();
         assert_eq!(changes.len(), 2);
@@ -225,9 +265,20 @@ mod tests {
     #[test]
     fn unknown_tuple_errors() {
         let mut t = Table::new(Schema::patient());
-        assert!(matches!(t.delete(TupleId(9)), Err(RelationError::UnknownTuple(9))));
+        assert!(matches!(
+            t.delete(TupleId(9)),
+            Err(RelationError::UnknownTuple(9))
+        ));
         assert!(t
-            .update(TupleId(9), vec![Value::Int(1), Value::text("f"), Value::Float(1.0), Value::text("d")])
+            .update(
+                TupleId(9),
+                vec![
+                    Value::Int(1),
+                    Value::text("f"),
+                    Value::Float(1.0),
+                    Value::text("d")
+                ]
+            )
             .is_err());
         assert!(t.get(TupleId(9)).is_none());
     }

@@ -30,7 +30,10 @@ mod tests {
 
     #[test]
     fn get_by_index() {
-        let t = Tuple { id: TupleId(1), values: vec![Value::Int(15), Value::text("female")] };
+        let t = Tuple {
+            id: TupleId(1),
+            values: vec![Value::Int(15), Value::text("female")],
+        };
         assert_eq!(t.get(0), Some(&Value::Int(15)));
         assert_eq!(t.get(1), Some(&Value::text("female")));
         assert_eq!(t.get(2), None);

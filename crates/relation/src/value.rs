@@ -89,7 +89,9 @@ impl Value {
     /// Equality under the same coercions as [`Value::compare`]; NULL is
     /// never equal to anything (including NULL).
     pub fn sql_eq(&self, other: &Value) -> bool {
-        self.compare(other).map(|o| o == std::cmp::Ordering::Equal).unwrap_or(false)
+        self.compare(other)
+            .map(|o| o == std::cmp::Ordering::Equal)
+            .unwrap_or(false)
     }
 }
 
@@ -146,8 +148,14 @@ mod tests {
 
     #[test]
     fn numeric_coercion() {
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)).unwrap(), Ordering::Equal);
-        assert_eq!(Value::Float(1.5).compare(&Value::Int(2)).unwrap(), Ordering::Less);
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)).unwrap(),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Float(1.5).compare(&Value::Int(2)).unwrap(),
+            Ordering::Less
+        );
         assert_eq!(Value::Int(3).as_f64(), Some(3.0));
         assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
         assert_eq!(Value::text("x").as_f64(), None);

@@ -81,7 +81,9 @@ impl CellContent {
     /// Removes up to `weight` contributed by `source`; returns the weight
     /// actually removed. Cleans the source entry when it drains.
     pub fn remove(&mut self, source: SourceId, weight: f64) -> f64 {
-        let Some(w) = self.per_source.get_mut(&source) else { return 0.0 };
+        let Some(w) = self.per_source.get_mut(&source) else {
+            return 0.0;
+        };
         let removed = weight.min(*w);
         *w -= removed;
         if *w <= 1e-12 {

@@ -47,7 +47,11 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { enable_merge: true, enable_split: true, restructure_epsilon: 1e-6 }
+        Self {
+            enable_merge: true,
+            enable_split: true,
+            restructure_epsilon: 1e-6,
+        }
     }
 }
 
@@ -175,8 +179,7 @@ fn choose_operator(
     };
 
     // Merge: fuse the two best hosts, place the cell inside the fusion.
-    if config.enable_merge && !merged_here && children.len() >= 3 && second.0 > f64::NEG_INFINITY
-    {
+    if config.enable_merge && !merged_here && children.len() >= 3 && second.0 > f64::NEG_INFINITY {
         let s = merge_score(tree, node, children, best.1, second.1, labels, weight);
         if s > winner.0 + config.restructure_epsilon {
             winner = (s, Operator::Merge(best.1, second.1));
@@ -345,7 +348,13 @@ impl SaintEtiQEngine {
         let label_counts = bk.attributes().iter().map(|a| a.label_count()).collect();
         let tree = SummaryTree::new(bk.name().to_string(), label_counts);
         let mapper = Mapper::bind(bk, schema)?;
-        Ok(Self { mapper, tree, config, source, unmappable: 0 })
+        Ok(Self {
+            mapper,
+            tree,
+            config,
+            source,
+            unmappable: 0,
+        })
     }
 
     /// The engine's source id (the owning peer).
@@ -414,7 +423,8 @@ impl SaintEtiQEngine {
     pub fn remove_record(&mut self, row: &[relation::value::Value]) {
         if let Ok(cells) = self.mapper.map_record(row) {
             for cand in cells {
-                self.tree.remove_from_cell(&cand.key, self.source, cand.weight);
+                self.tree
+                    .remove_from_cell(&cand.key, self.source, cand.weight);
             }
         }
     }
@@ -563,7 +573,10 @@ mod tests {
     fn larger_table_keeps_invariants_and_mass() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let dist = PatientDistributions::default();
-        let target = MatchTarget { disease: Some("malaria".into()), ..Default::default() };
+        let target = MatchTarget {
+            disease: Some("malaria".into()),
+            ..Default::default()
+        };
         let table = patient_table(&mut rng, 300, &dist, &target, 30);
         let mut e = engine();
         e.summarize_table(&table);
@@ -572,7 +585,11 @@ mod tests {
         assert!((t.total_count() - 300.0).abs() < 1e-6);
         assert_eq!(e.unmappable(), 0);
         // K << N: the grid bounds the number of leaves.
-        assert!(t.leaf_count() <= 324, "leaves {} exceed grid", t.leaf_count());
+        assert!(
+            t.leaf_count() <= 324,
+            "leaves {} exceed grid",
+            t.leaf_count()
+        );
         assert!(t.leaf_count() < 300, "summarization must compress");
         // Tree is genuinely hierarchical, not a flat root.
         assert!(t.depth() >= 2, "depth {}", t.depth());
@@ -624,11 +641,19 @@ mod tests {
         let table = patient_table(&mut rng, 120, &dist, &MatchTarget::default(), 0);
         let mut e = engine();
         e.summarize_table(&table);
-        let before: Vec<_> =
-            e.tree().cells().iter().map(|(k, v)| (k.clone(), v.content.weight)).collect();
+        let before: Vec<_> = e
+            .tree()
+            .cells()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.content.weight))
+            .collect();
         e.rebuild(&table);
-        let after: Vec<_> =
-            e.tree().cells().iter().map(|(k, v)| (k.clone(), v.content.weight)).collect();
+        let after: Vec<_> = e
+            .tree()
+            .cells()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.content.weight))
+            .collect();
         assert_eq!(before.len(), after.len());
         for ((ka, wa), (kb, wb)) in before.iter().zip(&after) {
             assert_eq!(ka, kb);
@@ -654,7 +679,11 @@ mod tests {
             let mut e = SaintEtiQEngine::new(
                 BackgroundKnowledge::medical_cbk(),
                 &Schema::patient(),
-                EngineConfig { enable_merge: false, enable_split: false, ..Default::default() },
+                EngineConfig {
+                    enable_merge: false,
+                    enable_split: false,
+                    ..Default::default()
+                },
                 SourceId(1),
             )
             .unwrap();
@@ -672,8 +701,9 @@ mod tests {
         // the leaf cells (the summary's semantics) are order-independent.
         let mut rng = rand::rngs::StdRng::seed_from_u64(29);
         let dist = PatientDistributions::default();
-        let rows: Vec<Vec<relation::value::Value>> =
-            (0..80).map(|_| relation::generator::random_patient(&mut rng, &dist)).collect();
+        let rows: Vec<Vec<relation::value::Value>> = (0..80)
+            .map(|_| relation::generator::random_patient(&mut rng, &dist))
+            .collect();
 
         let mut forward = engine();
         for r in &rows {

@@ -48,7 +48,10 @@ impl fmt::Display for SummaryError {
                 write!(f, "BK/schema kind mismatch on `{attribute}`")
             }
             SummaryError::IncompatibleBk { left, right } => {
-                write!(f, "incompatible background knowledge: `{left}` vs `{right}`")
+                write!(
+                    f,
+                    "incompatible background knowledge: `{left}` vs `{right}`"
+                )
             }
             SummaryError::Codec(msg) => write!(f, "summary codec error: {msg}"),
             SummaryError::Unmappable { attribute, value } => {
@@ -66,7 +69,10 @@ mod tests {
 
     #[test]
     fn display_has_context() {
-        let e = SummaryError::Unmappable { attribute: "age".into(), value: "999".into() };
+        let e = SummaryError::Unmappable {
+            attribute: "age".into(),
+            value: "999".into(),
+        };
         assert!(e.to_string().contains("age"));
         assert!(e.to_string().contains("999"));
     }

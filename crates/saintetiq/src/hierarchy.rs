@@ -42,12 +42,16 @@ pub struct Intent {
 impl Intent {
     /// An empty intent of the given arity.
     pub fn empty(arity: usize) -> Self {
-        Self { sets: vec![DescriptorSet::EMPTY; arity] }
+        Self {
+            sets: vec![DescriptorSet::EMPTY; arity],
+        }
     }
 
     /// The intent of a single cell.
     pub fn of_cell(key: &CellKey) -> Self {
-        Self { sets: key.0.iter().map(|&l| DescriptorSet::singleton(l)).collect() }
+        Self {
+            sets: key.0.iter().map(|&l| DescriptorSet::singleton(l)).collect(),
+        }
     }
 
     /// True when the cell's labels are all inside the intent.
@@ -205,7 +209,11 @@ impl SummaryTree {
     pub fn depth(&self) -> usize {
         fn walk(t: &SummaryTree, id: NodeId) -> usize {
             let n = t.node(id);
-            n.children.iter().map(|&c| 1 + walk(t, c)).max().unwrap_or(0)
+            n.children
+                .iter()
+                .map(|&c| 1 + walk(t, c))
+                .max()
+                .unwrap_or(0)
         }
         walk(self, self.root)
     }
@@ -232,8 +240,16 @@ impl SummaryTree {
                 }
             }
         }
-        let b = if internal == 0 { 0.0 } else { child_sum as f64 / internal as f64 };
-        let d = if leaves == 0 { 0.0 } else { leaf_depth_sum as f64 / leaves as f64 };
+        let b = if internal == 0 {
+            0.0
+        } else {
+            child_sum as f64 / internal as f64
+        };
+        let d = if leaves == 0 {
+            0.0
+        } else {
+            leaf_depth_sum as f64 / leaves as f64
+        };
         (b, d)
     }
 
@@ -276,8 +292,11 @@ impl SummaryTree {
     /// All sources present anywhere in the tree (Definition 4's partner
     /// set `P_S`).
     pub fn all_sources(&self) -> Vec<SourceId> {
-        let mut out: Vec<SourceId> =
-            self.cells.values().flat_map(|e| e.content.sources()).collect();
+        let mut out: Vec<SourceId> = self
+            .cells
+            .values()
+            .flat_map(|e| e.content.sources())
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -429,8 +448,7 @@ impl SummaryTree {
         }
         let leaf = entry.leaf;
         // Build the single-cell histogram delta once.
-        let mut hist: Vec<Vec<f64>> =
-            self.label_counts.iter().map(|&n| vec![0.0; n]).collect();
+        let mut hist: Vec<Vec<f64>> = self.label_counts.iter().map(|&n| vec![0.0; n]).collect();
         for (attr, &l) in key.0.iter().enumerate() {
             hist[attr][l.index()] = weight;
         }
@@ -457,15 +475,16 @@ impl SummaryTree {
     /// Used by push-mode deletes/updates: the before-image maps to cells
     /// whose weights are retracted.
     pub fn remove_from_cell(&mut self, key: &CellKey, source: SourceId, weight: f64) -> f64 {
-        let Some(entry) = self.cells.get_mut(key) else { return 0.0 };
+        let Some(entry) = self.cells.get_mut(key) else {
+            return 0.0;
+        };
         let leaf = entry.leaf;
         let removed = entry.content.remove(source, weight);
         if removed == 0.0 {
             return 0.0;
         }
         let drained = entry.content.is_empty();
-        let mut hist: Vec<Vec<f64>> =
-            self.label_counts.iter().map(|&n| vec![0.0; n]).collect();
+        let mut hist: Vec<Vec<f64>> = self.label_counts.iter().map(|&n| vec![0.0; n]).collect();
         for (attr, &l) in key.0.iter().enumerate() {
             hist[attr][l.index()] = removed;
         }
@@ -484,15 +503,16 @@ impl SummaryTree {
     /// Removes every contribution of `source` from cell `key`; prunes the
     /// leaf if it drains. Returns the removed weight.
     pub fn remove_source_from_cell(&mut self, key: &CellKey, source: SourceId) -> f64 {
-        let Some(entry) = self.cells.get_mut(key) else { return 0.0 };
+        let Some(entry) = self.cells.get_mut(key) else {
+            return 0.0;
+        };
         let leaf = entry.leaf;
         let removed = entry.content.remove_source(source);
         if removed == 0.0 {
             return 0.0;
         }
         let drained = entry.content.is_empty();
-        let mut hist: Vec<Vec<f64>> =
-            self.label_counts.iter().map(|&n| vec![0.0; n]).collect();
+        let mut hist: Vec<Vec<f64>> = self.label_counts.iter().map(|&n| vec![0.0; n]).collect();
         for (attr, &l) in key.0.iter().enumerate() {
             hist[attr][l.index()] = removed;
         }
@@ -519,7 +539,9 @@ impl SummaryTree {
             .filter(|(_, e)| e.content.per_source.contains_key(&source))
             .map(|(k, _)| k.clone())
             .collect();
-        keys.iter().map(|k| self.remove_source_from_cell(k, source)).sum()
+        keys.iter()
+            .map(|k| self.remove_source_from_cell(k, source))
+            .sum()
     }
 
     /// Tombstones a node and prunes now-useless ancestors: empty internal
@@ -673,7 +695,11 @@ impl SummaryTree {
                 }
             }
         }
-        assert_eq!(seen_leaves, self.cells.len(), "unreachable or duplicate leaves");
+        assert_eq!(
+            seen_leaves,
+            self.cells.len(),
+            "unreachable or duplicate leaves"
+        );
     }
 }
 
@@ -727,7 +753,10 @@ mod tests {
         t.add_to_cell(&ka, SourceId(2), 1.0, &[1.0, 1.0], None);
         t.add_to_cell(&kb, SourceId(3), 1.0, &[1.0, 1.0], None);
         t.check_invariants();
-        assert_eq!(t.peer_extent(root), vec![SourceId(1), SourceId(2), SourceId(3)]);
+        assert_eq!(
+            t.peer_extent(root),
+            vec![SourceId(1), SourceId(2), SourceId(3)]
+        );
         let leaf_a = t.leaf_of(&ka).unwrap();
         assert_eq!(t.peer_extent(leaf_a), vec![SourceId(1), SourceId(2)]);
         assert_eq!(t.all_sources().len(), 3);
@@ -770,7 +799,11 @@ mod tests {
         t.check_invariants();
         assert!((t.node(host).count - 2.0).abs() < 1e-12);
         assert!(t.node(host).intent.covers_cell(&kb));
-        assert_eq!(t.node(root).children.len(), 1, "root now holds just the host");
+        assert_eq!(
+            t.node(root).children.len(),
+            1,
+            "root now holds just the host"
+        );
     }
 
     #[test]
@@ -853,7 +886,10 @@ mod tests {
         // The model estimate is in the ballpark of the real node count.
         let model = t.storage_model_nodes();
         let real = t.live_node_count() as f64;
-        assert!(model > real * 0.4 && model < real * 2.5, "model {model} real {real}");
+        assert!(
+            model > real * 0.4 && model < real * 2.5,
+            "model {model} real {real}"
+        );
     }
 
     #[test]

@@ -31,7 +31,8 @@ impl SummaryObserver {
     /// Number of descriptors that appeared or disappeared in the root
     /// intent since the snapshot.
     pub fn descriptor_drift(&self, tree: &SummaryTree) -> usize {
-        self.snapshot_intent.distance(&tree.node(tree.root()).intent)
+        self.snapshot_intent
+            .distance(&tree.node(tree.root()).intent)
     }
 
     /// Number of cells that appeared or disappeared since the snapshot.
@@ -123,7 +124,10 @@ mod tests {
             Value::Float(30.0),
             Value::text("diabetes"),
         ]);
-        assert!(obs.descriptor_drift(e.tree()) >= 3, "old, overweight, diabetes appear");
+        assert!(
+            obs.descriptor_drift(e.tree()) >= 3,
+            "old, overweight, diabetes appear"
+        );
         assert!(obs.cell_drift(e.tree()) >= 1);
         assert!(obs.modification_rate(e.tree()) > 0.0);
         assert!(obs.is_modified(e.tree(), 0.1));
@@ -136,7 +140,10 @@ mod tests {
         // Remove the only malaria patient: its descriptors disappear.
         let t2 = table.get(relation::tuple::TupleId(2)).unwrap();
         e.remove_record(&t2.values);
-        assert!(obs.descriptor_drift(e.tree()) >= 2, "male/malaria/adult vanish");
+        assert!(
+            obs.descriptor_drift(e.tree()) >= 2,
+            "male/malaria/adult vanish"
+        );
         assert!(obs.modification_rate(e.tree()) > 0.0);
     }
 

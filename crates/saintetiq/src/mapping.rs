@@ -60,7 +60,9 @@ impl Mapper {
             );
             let numeric_bk = matches!(attr, AttributeVocabulary::Numeric(_));
             if numeric_col != numeric_bk {
-                return Err(SummaryError::KindMismatch { attribute: attr.name().to_string() });
+                return Err(SummaryError::KindMismatch {
+                    attribute: attr.name().to_string(),
+                });
             }
             columns.push(idx);
         }
@@ -102,8 +104,11 @@ impl Mapper {
                     pruned
                         .into_iter()
                         .map(|(l, g)| {
-                            let rawg =
-                                raw.iter().find(|(rl, _)| *rl == l).map(|&(_, g)| g).unwrap_or(g);
+                            let rawg = raw
+                                .iter()
+                                .find(|(rl, _)| *rl == l)
+                                .map(|&(_, g)| g)
+                                .unwrap_or(g);
                             (l, g, rawg)
                         })
                         .collect()
@@ -113,7 +118,10 @@ impl Mapper {
                         attribute: attr.name().to_string(),
                         value: value.to_string(),
                     })?;
-                    tax.categorize(s).into_iter().map(|(l, g)| (l, g, g)).collect()
+                    tax.categorize(s)
+                        .into_iter()
+                        .map(|(l, g)| (l, g, g))
+                        .collect()
                 }
             };
             if kept.is_empty() {
@@ -206,14 +214,27 @@ mod tests {
         let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
         for cells in &mapped {
             for c in cells {
-                let age = bk.attribute_at(age_i).unwrap().label_name(c.key.0[age_i]).unwrap();
-                let bmi = bk.attribute_at(bmi_i).unwrap().label_name(c.key.0[bmi_i]).unwrap();
-                *counts.entry((age.to_string(), bmi.to_string())).or_insert(0.0) += c.weight;
+                let age = bk
+                    .attribute_at(age_i)
+                    .unwrap()
+                    .label_name(c.key.0[age_i])
+                    .unwrap();
+                let bmi = bk
+                    .attribute_at(bmi_i)
+                    .unwrap()
+                    .label_name(c.key.0[bmi_i])
+                    .unwrap();
+                *counts
+                    .entry((age.to_string(), bmi.to_string()))
+                    .or_insert(0.0) += c.weight;
             }
         }
         assert_eq!(counts.len(), 3, "exactly cells c1, c2, c3: {counts:?}");
         let get = |a: &str, b: &str| counts[&(a.to_string(), b.to_string())];
-        assert!((get("young", "underweight") - 2.0).abs() < 1e-9, "c1 count 2");
+        assert!(
+            (get("young", "underweight") - 2.0).abs() < 1e-9,
+            "c1 count 2"
+        );
         assert!((get("young", "normal") - 0.7).abs() < 1e-9, "c2 count 0.7");
         assert!((get("adult", "normal") - 0.3).abs() < 1e-9, "c3 count 0.3");
     }
@@ -250,21 +271,36 @@ mod tests {
     #[test]
     fn null_values_are_unmappable() {
         let m = mapper();
-        let row = vec![Value::Null, Value::text("female"), Value::Float(20.0), Value::text("malaria")];
-        assert!(matches!(m.map_record(&row), Err(SummaryError::Unmappable { .. })));
+        let row = vec![
+            Value::Null,
+            Value::text("female"),
+            Value::Float(20.0),
+            Value::text("malaria"),
+        ];
+        assert!(matches!(
+            m.map_record(&row),
+            Err(SummaryError::Unmappable { .. })
+        ));
     }
 
     #[test]
     fn unknown_disease_maps_to_taxonomy_root() {
         let m = mapper();
-        let row =
-            vec![Value::Int(30), Value::text("male"), Value::Float(22.0), Value::text("gout")];
+        let row = vec![
+            Value::Int(30),
+            Value::text("male"),
+            Value::Float(22.0),
+            Value::text("gout"),
+        ];
         let cells = m.map_record(&row).unwrap();
         let bk = m.bk();
         let dis_i = bk.attribute_index("disease").unwrap();
         for c in &cells {
             assert_eq!(
-                bk.attribute_at(dis_i).unwrap().label_name(c.key.0[dis_i]).unwrap(),
+                bk.attribute_at(dis_i)
+                    .unwrap()
+                    .label_name(c.key.0[dis_i])
+                    .unwrap(),
                 "any_disease"
             );
         }
@@ -273,9 +309,10 @@ mod tests {
     #[test]
     fn bind_rejects_missing_and_mismatched_columns() {
         let bk = BackgroundKnowledge::medical_cbk();
-        let schema = Schema::new(vec![
-            relation::schema::Attribute::new("age", relation::schema::AttrType::Int),
-        ])
+        let schema = Schema::new(vec![relation::schema::Attribute::new(
+            "age",
+            relation::schema::AttrType::Int,
+        )])
         .unwrap();
         assert!(matches!(
             Mapper::bind(bk.clone(), &schema),
@@ -302,6 +339,9 @@ mod tests {
         let t1 = table.get(relation::tuple::TupleId(1)).unwrap();
         let cells = m.map_record(&t1.values).unwrap();
         let s = m.describe(&cells[0].key);
-        assert!(s.contains("young") && s.contains("underweight") && s.contains("anorexia"), "{s}");
+        assert!(
+            s.contains("young") && s.contains("underweight") && s.contains("anorexia"),
+            "{s}"
+        );
     }
 }

@@ -24,9 +24,7 @@ pub fn merge_into(
     source: &SummaryTree,
     config: &EngineConfig,
 ) -> Result<(), SummaryError> {
-    if target.bk_name() != source.bk_name()
-        || target.label_counts() != source.label_counts()
-    {
+    if target.bk_name() != source.bk_name() || target.label_counts() != source.label_counts() {
         return Err(SummaryError::IncompatibleBk {
             left: target.bk_name().to_string(),
             right: source.bk_name().to_string(),
@@ -34,15 +32,7 @@ pub fn merge_into(
     }
     for (key, entry) in source.cells() {
         for (&src, &w) in &entry.content.per_source {
-            incorporate_cell(
-                target,
-                config,
-                key,
-                src,
-                w,
-                &entry.content.max_grades,
-                None,
-            );
+            incorporate_cell(target, config, key, src, w, &entry.content.max_grades, None);
         }
         target.merge_cell_stats(key, &entry.stats);
     }
@@ -123,7 +113,11 @@ mod tests {
         let mut merged = a.clone();
         merge_into(&mut merged, &b, &EngineConfig::default()).unwrap();
         let sources = merged.all_sources();
-        assert_eq!(sources, vec![SourceId(1), SourceId(2)], "Definition 4: P_S union");
+        assert_eq!(
+            sources,
+            vec![SourceId(1), SourceId(2)],
+            "Definition 4: P_S union"
+        );
     }
 
     #[test]
@@ -162,16 +156,15 @@ mod tests {
         let kb: Vec<_> = ba.cells().keys().cloned().collect();
         assert_eq!(ka, kb);
         for k in &ka {
-            assert!(
-                (ab.cells()[k].content.weight - ba.cells()[k].content.weight).abs() < 1e-9
-            );
+            assert!((ab.cells()[k].content.weight - ba.cells()[k].content.weight).abs() < 1e-9);
         }
     }
 
     #[test]
     fn merge_all_reconciliation_chain() {
-        let locals: Vec<SummaryTree> =
-            (0..5).map(|i| local_summary(10 + i as u64, i, 50)).collect();
+        let locals: Vec<SummaryTree> = (0..5)
+            .map(|i| local_summary(10 + i as u64, i, 50))
+            .collect();
         let merged = merge_all(
             locals[0].bk_name(),
             locals[0].label_counts(),

@@ -101,8 +101,7 @@ pub fn approximate_answer_with_stats(
     answers
         .into_iter()
         .map(|answer| {
-            let key: Vec<(usize, u128)> =
-                answer.class.iter().map(|(a, s)| (*a, s.0)).collect();
+            let key: Vec<(usize, u128)> = answer.class.iter().map(|(a, s)| (*a, s.0)).collect();
             let nodes = class_nodes.get(&key).cloned().unwrap_or_default();
             let stats = query
                 .selection_attrs
@@ -140,7 +139,10 @@ fn approximate_answer_inner(
             .collect();
         let entry = classes.entry(class_key).or_insert_with(|| {
             (
-                selection_attrs.iter().map(|&a| (a, DescriptorSet::EMPTY)).collect(),
+                selection_attrs
+                    .iter()
+                    .map(|&a| (a, DescriptorSet::EMPTY))
+                    .collect(),
                 0.0,
             )
         });
@@ -152,7 +154,10 @@ fn approximate_answer_inner(
     classes
         .into_iter()
         .map(|(key, (answer, weight))| ApproxAnswer {
-            class: key.into_iter().map(|(a, bits)| (a, DescriptorSet(bits))).collect(),
+            class: key
+                .into_iter()
+                .map(|(a, bits)| (a, DescriptorSet(bits)))
+                .collect(),
             answer,
             weight,
         })
@@ -330,7 +335,11 @@ mod tests {
         // The young reading dominates by weight — "malaria patients are
         // typically young".
         let age_attr = bk.attribute_index("age").unwrap();
-        let young = bk.attribute_at(age_attr).unwrap().label_id("young").unwrap();
+        let young = bk
+            .attribute_at(age_attr)
+            .unwrap()
+            .label_id("young")
+            .unwrap();
         let young_weight: f64 = answers
             .iter()
             .filter(|a| {

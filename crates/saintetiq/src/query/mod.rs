@@ -36,8 +36,8 @@ pub fn relevant_sources(tree: &SummaryTree, prop: &Proposition) -> Vec<SourceId>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{incorporate_cell, EngineConfig};
     use crate::cell::CellKey;
+    use crate::engine::{incorporate_cell, EngineConfig};
     use fuzzy::descriptor::{DescriptorSet, LabelId};
     use proposition::Clause;
 
@@ -50,25 +50,58 @@ mod tests {
         let mut t = SummaryTree::new("bk", vec![3, 3]);
         let cfg = EngineConfig::default();
         // Source 1 & 2 own (0,0); source 3 owns (2,2).
-        incorporate_cell(&mut t, &cfg, &key(&[0, 0]), SourceId(1), 1.0, &[1.0, 1.0], None);
-        incorporate_cell(&mut t, &cfg, &key(&[0, 0]), SourceId(2), 1.0, &[1.0, 1.0], None);
-        incorporate_cell(&mut t, &cfg, &key(&[2, 2]), SourceId(3), 1.0, &[1.0, 1.0], None);
+        incorporate_cell(
+            &mut t,
+            &cfg,
+            &key(&[0, 0]),
+            SourceId(1),
+            1.0,
+            &[1.0, 1.0],
+            None,
+        );
+        incorporate_cell(
+            &mut t,
+            &cfg,
+            &key(&[0, 0]),
+            SourceId(2),
+            1.0,
+            &[1.0, 1.0],
+            None,
+        );
+        incorporate_cell(
+            &mut t,
+            &cfg,
+            &key(&[2, 2]),
+            SourceId(3),
+            1.0,
+            &[1.0, 1.0],
+            None,
+        );
 
         // Query: attr0 ∈ {0}.
         let prop = Proposition {
-            clauses: vec![Clause { attr: 0, set: DescriptorSet::singleton(LabelId(0)) }],
+            clauses: vec![Clause {
+                attr: 0,
+                set: DescriptorSet::singleton(LabelId(0)),
+            }],
         };
         assert_eq!(relevant_sources(&t, &prop), vec![SourceId(1), SourceId(2)]);
 
         // Query matching everything returns all three.
         let all = Proposition {
-            clauses: vec![Clause { attr: 0, set: DescriptorSet::all(3) }],
+            clauses: vec![Clause {
+                attr: 0,
+                set: DescriptorSet::all(3),
+            }],
         };
         assert_eq!(relevant_sources(&t, &all).len(), 3);
 
         // Unsatisfiable query returns nobody.
         let none = Proposition {
-            clauses: vec![Clause { attr: 1, set: DescriptorSet::singleton(LabelId(1)) }],
+            clauses: vec![Clause {
+                attr: 1,
+                set: DescriptorSet::singleton(LabelId(1)),
+            }],
         };
         assert!(relevant_sources(&t, &none).is_empty());
     }

@@ -66,12 +66,8 @@ fn reformulate_predicate(
             let v = pred.value.as_f64().ok_or_else(unmappable)?;
             let set = match pred.op {
                 CompareOp::Eq => vocab.labels_for_range(v, v),
-                CompareOp::Lt | CompareOp::Le => {
-                    vocab.labels_for_range(f64::NEG_INFINITY, v)
-                }
-                CompareOp::Gt | CompareOp::Ge => {
-                    vocab.labels_for_range(v, f64::INFINITY)
-                }
+                CompareOp::Lt | CompareOp::Le => vocab.labels_for_range(f64::NEG_INFINITY, v),
+                CompareOp::Gt | CompareOp::Ge => vocab.labels_for_range(v, f64::INFINITY),
                 // `≠ v` excludes no label: every fuzzy region around v
                 // also covers values different from v.
                 CompareOp::Ne => DescriptorSet::all(vocab.label_count()),
@@ -125,7 +121,10 @@ pub fn reformulate(
         .iter()
         .filter_map(|name| bk.attribute_index(name))
         .collect();
-    Ok(SummaryQuery { proposition: Proposition { clauses }, selection_attrs })
+    Ok(SummaryQuery {
+        proposition: Proposition { clauses },
+        selection_attrs,
+    })
 }
 
 impl SummaryQuery {
@@ -135,8 +134,7 @@ impl SummaryQuery {
         let mut parts = Vec::new();
         for c in &self.proposition.clauses {
             let vocab = bk.attribute_at(c.attr).expect("clause attr in bk");
-            let names: Vec<&str> =
-                c.set.iter().filter_map(|l| vocab.label_name(l)).collect();
+            let names: Vec<&str> = c.set.iter().filter_map(|l| vocab.label_name(l)).collect();
             parts.push(format!("({})", names.join(" OR ")));
         }
         parts.join(" AND ")
@@ -215,8 +213,14 @@ mod tests {
         let set = sq.proposition.clauses[0].set;
         assert!(!set.contains(vocab.label_id("malaria").unwrap()));
         assert!(set.contains(vocab.label_id("tuberculosis").unwrap()));
-        assert!(set.contains(vocab.label_id("infectious").unwrap()), "ancestor kept");
-        assert!(set.contains(vocab.label_id("any_disease").unwrap()), "root kept");
+        assert!(
+            set.contains(vocab.label_id("infectious").unwrap()),
+            "ancestor kept"
+        );
+        assert!(
+            set.contains(vocab.label_id("any_disease").unwrap()),
+            "root kept"
+        );
     }
 
     #[test]
@@ -224,7 +228,10 @@ mod tests {
         let b = bk();
         let q = SelectQuery::new(
             vec![],
-            vec![Predicate::new("bmi", CompareOp::Ge, 18.0), Predicate::lt("bmi", 25.0)],
+            vec![
+                Predicate::new("bmi", CompareOp::Ge, 18.0),
+                Predicate::lt("bmi", 25.0),
+            ],
         );
         let sq = reformulate(&q, &b).unwrap();
         assert_eq!(sq.proposition.clauses.len(), 1);
@@ -242,7 +249,10 @@ mod tests {
         let b = bk();
         let q = SelectQuery::new(
             vec![],
-            vec![Predicate::lt("bmi", 13.0), Predicate::new("bmi", CompareOp::Gt, 40.0)],
+            vec![
+                Predicate::lt("bmi", 13.0),
+                Predicate::new("bmi", CompareOp::Gt, 40.0),
+            ],
         );
         let sq = reformulate(&q, &b).unwrap();
         assert!(sq.proposition.is_unsatisfiable());
@@ -253,7 +263,10 @@ mod tests {
         let b = bk();
         let q = SelectQuery::new(
             vec!["age".into()],
-            vec![Predicate::eq("hospital", "nantes"), Predicate::eq("sex", "female")],
+            vec![
+                Predicate::eq("hospital", "nantes"),
+                Predicate::eq("sex", "female"),
+            ],
         );
         let sq = reformulate(&q, &b).unwrap();
         assert_eq!(sq.proposition.clauses.len(), 1, "hospital is unroutable");
@@ -263,13 +276,19 @@ mod tests {
     fn unknown_term_errors() {
         let b = bk();
         let q = SelectQuery::new(vec![], vec![Predicate::eq("disease", "gout")]);
-        assert!(matches!(reformulate(&q, &b), Err(SummaryError::Unmappable { .. })));
+        assert!(matches!(
+            reformulate(&q, &b),
+            Err(SummaryError::Unmappable { .. })
+        ));
     }
 
     #[test]
     fn non_numeric_constant_on_numeric_attr_errors() {
         let b = bk();
         let q = SelectQuery::new(vec![], vec![Predicate::eq("bmi", "heavy")]);
-        assert!(matches!(reformulate(&q, &b), Err(SummaryError::Unmappable { .. })));
+        assert!(matches!(
+            reformulate(&q, &b),
+            Err(SummaryError::Unmappable { .. })
+        ));
     }
 }

@@ -85,17 +85,10 @@ pub fn select_most_abstract(tree: &SummaryTree, prop: &Proposition) -> Vec<NodeI
 /// Brute-force reference: the cells (leaves) whose single labels satisfy
 /// every clause — the ground truth [`select_most_abstract`] must cover.
 /// Only used by tests and debug assertions; O(#cells · #clauses).
-pub fn satisfying_cells(
-    tree: &SummaryTree,
-    prop: &Proposition,
-) -> Vec<crate::cell::CellKey> {
+pub fn satisfying_cells(tree: &SummaryTree, prop: &Proposition) -> Vec<crate::cell::CellKey> {
     tree.cells()
         .keys()
-        .filter(|key| {
-            prop.clauses
-                .iter()
-                .all(|c| c.set.contains(key.0[c.attr]))
-        })
+        .filter(|key| prop.clauses.iter().all(|c| c.set.contains(key.0[c.attr])))
         .cloned()
         .collect()
 }
@@ -134,9 +127,18 @@ mod tests {
                 set: DescriptorSet::from_labels([LabelId(0), LabelId(1)]),
             }],
         };
-        assert_eq!(valuate(&prop, &intent_of(&[&[0], &[5]])), Satisfaction::Certain);
-        assert_eq!(valuate(&prop, &intent_of(&[&[0, 1], &[5]])), Satisfaction::Certain);
-        assert_eq!(valuate(&prop, &intent_of(&[&[0, 2], &[5]])), Satisfaction::Possible);
+        assert_eq!(
+            valuate(&prop, &intent_of(&[&[0], &[5]])),
+            Satisfaction::Certain
+        );
+        assert_eq!(
+            valuate(&prop, &intent_of(&[&[0, 1], &[5]])),
+            Satisfaction::Certain
+        );
+        assert_eq!(
+            valuate(&prop, &intent_of(&[&[0, 2], &[5]])),
+            Satisfaction::Possible
+        );
         assert_eq!(valuate(&prop, &intent_of(&[&[2], &[5]])), Satisfaction::No);
         assert_eq!(valuate(&prop, &intent_of(&[&[], &[5]])), Satisfaction::No);
     }
@@ -144,7 +146,10 @@ mod tests {
     #[test]
     fn empty_proposition_is_certain() {
         let prop = Proposition::default();
-        assert_eq!(valuate(&prop, &intent_of(&[&[1], &[2]])), Satisfaction::Certain);
+        assert_eq!(
+            valuate(&prop, &intent_of(&[&[1], &[2]])),
+            Satisfaction::Certain
+        );
     }
 
     #[test]
@@ -154,11 +159,22 @@ mod tests {
         let mut t = SummaryTree::new("bk", vec![4, 4]);
         let cfg = EngineConfig::default();
         for labels in [[0u16, 0], [0, 1], [3, 2], [3, 3]] {
-            incorporate_cell(&mut t, &cfg, &key(&labels), SourceId(1), 2.0, &[1.0, 1.0], None);
+            incorporate_cell(
+                &mut t,
+                &cfg,
+                &key(&labels),
+                SourceId(1),
+                2.0,
+                &[1.0, 1.0],
+                None,
+            );
         }
         t.check_invariants();
         let prop = Proposition {
-            clauses: vec![Clause { attr: 0, set: DescriptorSet::singleton(LabelId(0)) }],
+            clauses: vec![Clause {
+                attr: 0,
+                set: DescriptorSet::singleton(LabelId(0)),
+            }],
         };
         let zq = select_most_abstract(&t, &prop);
         assert!(!zq.is_empty());
@@ -194,7 +210,10 @@ mod tests {
             None,
         );
         let prop = Proposition {
-            clauses: vec![Clause { attr: 0, set: DescriptorSet::EMPTY }],
+            clauses: vec![Clause {
+                attr: 0,
+                set: DescriptorSet::EMPTY,
+            }],
         };
         assert!(select_most_abstract(&t, &prop).is_empty());
     }
@@ -276,12 +295,34 @@ mod tests {
     fn selection_skips_drained_nodes() {
         let mut t = SummaryTree::new("bk", vec![2, 2]);
         let cfg = EngineConfig::default();
-        incorporate_cell(&mut t, &cfg, &key(&[0, 0]), SourceId(1), 1.0, &[1.0, 1.0], None);
-        incorporate_cell(&mut t, &cfg, &key(&[1, 1]), SourceId(2), 1.0, &[1.0, 1.0], None);
+        incorporate_cell(
+            &mut t,
+            &cfg,
+            &key(&[0, 0]),
+            SourceId(1),
+            1.0,
+            &[1.0, 1.0],
+            None,
+        );
+        incorporate_cell(
+            &mut t,
+            &cfg,
+            &key(&[1, 1]),
+            SourceId(2),
+            1.0,
+            &[1.0, 1.0],
+            None,
+        );
         t.remove_source(SourceId(1));
         let prop = Proposition {
-            clauses: vec![Clause { attr: 0, set: DescriptorSet::singleton(LabelId(0)) }],
+            clauses: vec![Clause {
+                attr: 0,
+                set: DescriptorSet::singleton(LabelId(0)),
+            }],
         };
-        assert!(select_most_abstract(&t, &prop).is_empty(), "drained data is gone");
+        assert!(
+            select_most_abstract(&t, &prop).is_empty(),
+            "drained data is gone"
+        );
     }
 }

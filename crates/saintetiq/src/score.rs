@@ -204,6 +204,9 @@ mod tests {
             .map(|i| category_utility(&t, root, Some((i, &incoming, 1.0))))
             .fold(f64::NEG_INFINITY, f64::max);
         let as_new = category_utility_with_new_child(&t, root, &incoming, 1.0);
-        assert!(as_new > best_existing, "new {as_new} vs existing {best_existing}");
+        assert!(
+            as_new > best_existing,
+            "new {as_new} vs existing {best_existing}"
+        );
     }
 }

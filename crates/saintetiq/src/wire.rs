@@ -142,8 +142,9 @@ fn decode_node(
             if buf.remaining() < n_sources * 12 {
                 return Err(err("truncated sources"));
             }
-            let sources: Vec<(SourceId, f64)> =
-                (0..n_sources).map(|_| (SourceId(buf.get_u32()), buf.get_f64())).collect();
+            let sources: Vec<(SourceId, f64)> = (0..n_sources)
+                .map(|_| (SourceId(buf.get_u32()), buf.get_f64()))
+                .collect();
             if buf.remaining() < arity * 8 {
                 return Err(err("truncated grades"));
             }
@@ -183,7 +184,11 @@ fn decode_node(
                 return Err(err("truncated child count"));
             }
             let n = buf.get_u16() as usize;
-            let host = if is_root { parent } else { tree.create_internal(parent) };
+            let host = if is_root {
+                parent
+            } else {
+                tree.create_internal(parent)
+            };
             for _ in 0..n {
                 decode_node(tree, host, buf, arity, false)?;
             }
@@ -240,7 +245,11 @@ mod tests {
         assert_eq!(d.label_counts(), t.label_counts());
         assert_eq!(d.leaf_count(), t.leaf_count());
         assert!((d.total_count() - t.total_count()).abs() < 1e-9);
-        assert_eq!(d.live_node_count(), t.live_node_count(), "structure preserved");
+        assert_eq!(
+            d.live_node_count(),
+            t.live_node_count(),
+            "structure preserved"
+        );
         assert_eq!(d.depth(), t.depth());
         for (k, entry) in t.cells() {
             let de = &d.cells()[k];
@@ -317,6 +326,9 @@ mod tests {
         let large = encoded_size(&summary(5, 2000));
         assert!(large > small);
         // 40x the tuples must NOT give 40x the bytes: cells saturate.
-        assert!((large as f64) < (small as f64) * 10.0, "small={small} large={large}");
+        assert!(
+            (large as f64) < (small as f64) * 10.0,
+            "small={small} large={large}"
+        );
     }
 }

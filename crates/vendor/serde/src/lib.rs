@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates data types with `#[derive(Serialize,
+//! Deserialize)]` to declare them wire-friendly, but never links a
+//! serialization format (the actual codec is the hand-rolled
+//! `saintetiq::wire`). With no crates.io access in the build container,
+//! this stub keeps those annotations compiling: `Serialize` and
+//! `Deserialize` are marker traits blanket-implemented for every type,
+//! and the derives (re-exported from the sibling `serde_derive` stub)
+//! expand to nothing.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Owned deserialization marker (blanket-implemented).
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn derives_and_bounds_compile() {
+        #[derive(crate::Serialize, crate::Deserialize, Debug, PartialEq)]
+        struct S {
+            a: u32,
+            b: String,
+        }
+        fn assert_bounds<T: crate::Serialize + for<'de> crate::Deserialize<'de>>() {}
+        assert_bounds::<S>();
+        assert_bounds::<Vec<f64>>();
+    }
+}

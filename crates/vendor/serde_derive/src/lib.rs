@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The companion `serde` stub blanket-implements both traits for every
+//! type, so the derive macros have nothing to generate — they only need
+//! to exist so `#[derive(Serialize, Deserialize)]` keeps parsing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -25,7 +25,10 @@ fn run_with_alpha(alpha: f64) {
     println!("alpha = {alpha}");
     println!("  reconciliation rounds : {}", report.reconciliations);
     println!("  push messages         : {}", report.push_messages);
-    println!("  reconciliation msgs   : {}", report.reconciliation_messages);
+    println!(
+        "  reconciliation msgs   : {}",
+        report.reconciliation_messages
+    );
     println!("  construction msgs     : {}", report.construction_messages);
     println!(
         "  update msgs/node/s    : {:.6}   (eq. 1's measured counterpart)",

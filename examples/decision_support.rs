@@ -65,7 +65,11 @@ fn ward_csv() -> Vec<u8> {
                 Value::Int(age as i64),
                 Value::text(if next() > 0.5 { "female" } else { "male" }),
                 Value::Float(19.0 + next() * 12.0),
-                Value::text(if next() > 0.5 { "hypertension" } else { "diabetes" }),
+                Value::text(if next() > 0.5 {
+                    "hypertension"
+                } else {
+                    "diabetes"
+                }),
             ])
             .expect("valid row");
     }
@@ -78,7 +82,11 @@ fn main() {
     // 1. Load the dataset from CSV, as an integrator would.
     let csv = ward_csv();
     let table = read_csv(&csv[..], Schema::patient()).expect("well-formed CSV");
-    println!("Loaded {} patients from CSV ({} bytes)", table.len(), csv.len());
+    println!(
+        "Loaded {} patients from CSV ({} bytes)",
+        table.len(),
+        csv.len()
+    );
 
     // 2. Summarize once; the summary is all we query from here on.
     let bk = BackgroundKnowledge::medical_cbk();
@@ -99,8 +107,10 @@ fn main() {
 
     // 3. The §1 question: "age of malaria patients" — answered with
     //    descriptors AND statistics, no record access.
-    let query =
-        SelectQuery::new(vec!["age".into()], vec![Predicate::eq("disease", "malaria")]);
+    let query = SelectQuery::new(
+        vec!["age".into()],
+        vec![Predicate::eq("disease", "malaria")],
+    );
     let sq = reformulate(&query, &bk).expect("routable");
     println!("Q: {query}\n");
     let age_attr = bk.attribute_index("age").expect("age in CBK");
@@ -126,16 +136,23 @@ fn main() {
     //    patients are typically children and old" — computed without
     //    reading a single record back.
     let answers = approximate_answer_with_stats(engine.tree(), &sq);
-    let young = bk.attribute_at(age_attr).unwrap().label_id("young").unwrap();
+    let young = bk
+        .attribute_at(age_attr)
+        .unwrap()
+        .label_id("young")
+        .unwrap();
     let old = bk.attribute_at(age_attr).unwrap().label_id("old").unwrap();
     let covers = |label| {
-        answers
-            .iter()
-            .any(|(a, _)| {
-                a.answer.iter().any(|(attr, set)| *attr == age_attr && set.contains(label))
-            })
+        answers.iter().any(|(a, _)| {
+            a.answer
+                .iter()
+                .any(|(attr, set)| *attr == age_attr && set.contains(label))
+        })
     };
-    assert!(covers(young) && covers(old), "both cohorts surface in the answer");
+    assert!(
+        covers(young) && covers(old),
+        "both cohorts surface in the answer"
+    );
     println!(
         "\n=> malaria patients are 'children and old': the descriptor answer \
          names both cohorts, and the statistics (mean ~12, max 84) show the \

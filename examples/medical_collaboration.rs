@@ -28,8 +28,13 @@ use saintetiq::query::proposition::reformulate;
 use saintetiq::query::relevant_sources;
 use saintetiq::wire;
 
-const HOSPITALS: [&str; 5] =
-    ["CHU Nantes", "Hotel-Dieu", "St-Jacques", "Laennec", "Nord-Clinique"];
+const HOSPITALS: [&str; 5] = [
+    "CHU Nantes",
+    "Hotel-Dieu",
+    "St-Jacques",
+    "Laennec",
+    "Nord-Clinique",
+];
 
 fn hospital_table(rng: &mut StdRng, idx: usize) -> Table {
     let dist = PatientDistributions::default();
@@ -44,7 +49,8 @@ fn hospital_table(rng: &mut StdRng, idx: usize) -> Table {
             ..Default::default()
         };
         for _ in 0..4 {
-            t.insert(matching_patient(rng, &dist, &target)).expect("valid row");
+            t.insert(matching_patient(rng, &dist, &target))
+                .expect("valid row");
         }
     }
     let bg = PatientDistributions {
@@ -108,7 +114,10 @@ fn main() {
 
     // 1) Peer localization: which hospitals to contact.
     let sources = relevant_sources(&gs, &sq.proposition);
-    println!("\nPeer localization (P_Q): {} hospitals hold relevant data", sources.len());
+    println!(
+        "\nPeer localization (P_Q): {} hospitals hold relevant data",
+        sources.len()
+    );
     for s in &sources {
         println!("  -> {}", HOSPITALS[s.0 as usize]);
     }

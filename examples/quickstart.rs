@@ -51,7 +51,11 @@ fn main() {
     );
     let mapper = engine.mapper();
     for (key, entry) in tree.cells() {
-        println!("  cell {} -> count {:.1}", mapper.describe(key), entry.content.weight);
+        println!(
+            "  cell {} -> count {:.1}",
+            mapper.describe(key),
+            entry.content.weight
+        );
     }
 
     // --- Query reformulation (§5.1) -------------------------------------

@@ -42,8 +42,10 @@ fn csv_to_summary_to_answer() {
     engine.summarize_table(&table);
     engine.tree().check_invariants();
 
-    let query =
-        SelectQuery::new(vec!["age".into()], vec![Predicate::eq("disease", "malaria")]);
+    let query = SelectQuery::new(
+        vec!["age".into()],
+        vec![Predicate::eq("disease", "malaria")],
+    );
     let sq = reformulate(&query, &bk).unwrap();
 
     // Plain answer: the young cohort dominates, the old tail appears.
@@ -55,9 +57,11 @@ fn csv_to_summary_to_answer() {
     let young = vocab.label_id("young").unwrap();
     let old = vocab.label_id("old").unwrap();
     let has = |label| {
-        answers
-            .iter()
-            .any(|a| a.answer.iter().any(|(at, s)| *at == age_attr && s.contains(label)))
+        answers.iter().any(|a| {
+            a.answer
+                .iter()
+                .any(|(at, s)| *at == age_attr && s.contains(label))
+        })
     };
     assert!(has(young), "children cohort present");
     assert!(has(old), "elderly tail present");

@@ -42,7 +42,10 @@ fn paper_walkthrough() {
     // §5.1 query, reformulated.
     let query = SelectQuery::paper_example();
     let sq = reformulate(&query, &bk).unwrap();
-    assert_eq!(sq.render(&bk), "(female) AND (underweight OR normal) AND (anorexia)");
+    assert_eq!(
+        sq.render(&bk),
+        "(female) AND (underweight OR normal) AND (anorexia)"
+    );
 
     // §5.2.2: approximate answer = age {young}, weight 2 (t1 and t3).
     let answers = approximate_answer(engine.tree(), &sq);
@@ -64,13 +67,19 @@ fn routing_matches_exact_evaluation() {
     let bk = BackgroundKnowledge::medical_cbk();
     let mut rng = StdRng::seed_from_u64(17);
     let dist = PatientDistributions::default();
-    let query = SelectQuery::new(vec!["age".into()], vec![Predicate::eq("disease", "malaria")]);
+    let query = SelectQuery::new(
+        vec!["age".into()],
+        vec![Predicate::eq("disease", "malaria")],
+    );
     let sq = reformulate(&query, &bk).unwrap();
 
     let mut gs = saintetiq::hierarchy::SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
     let mut truth = Vec::new();
     for p in 0..40u32 {
-        let target = MatchTarget { disease: Some("malaria".into()), ..Default::default() };
+        let target = MatchTarget {
+            disease: Some("malaria".into()),
+            ..Default::default()
+        };
         let matches = p % 4 == 0;
         let table = patient_table(&mut rng, 20, &dist, &target, if matches { 2 } else { 0 });
         truth.push(query.matches_any(&table).unwrap());
@@ -186,9 +195,7 @@ fn incremental_equals_rebuild_after_edit_script() {
     let mut fresh = engine_for(1);
     fresh.summarize_table(&table);
     assert_eq!(incremental.tree().leaf_count(), fresh.tree().leaf_count());
-    assert!(
-        (incremental.tree().total_count() - fresh.tree().total_count()).abs() < 1e-6
-    );
+    assert!((incremental.tree().total_count() - fresh.tree().total_count()).abs() < 1e-6);
     for (k, entry) in incremental.tree().cells() {
         let w = fresh.tree().cells()[k].content.weight;
         assert!((entry.content.weight - w).abs() < 1e-6, "drift on {k:?}");

@@ -35,7 +35,10 @@ fn figure4_stale_fraction_bounded_by_alpha_neighborhood() {
     // "limited to 11% at alpha=0.3" reading.
     let rows = figure4(&[60], &[0.3], &base(2)).unwrap();
     let s = rows[0].worst_stale;
-    assert!(s < 0.3 + 0.15, "stale fraction {s} wildly exceeds the alpha band");
+    assert!(
+        s < 0.3 + 0.15,
+        "stale fraction {s} wildly exceeds the alpha band"
+    );
 }
 
 #[test]
@@ -49,7 +52,10 @@ fn figure5_sits_below_figure4() {
     );
     // The paper reports a 4.5x reduction; at small scale we only require
     // a clear gap.
-    assert!(real <= worst * 0.8, "expected a clear reduction: {real} vs {worst}");
+    assert!(
+        real <= worst * 0.8,
+        "expected a clear reduction: {real} vs {worst}"
+    );
 }
 
 #[test]

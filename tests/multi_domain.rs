@@ -9,7 +9,11 @@ use summary_p2p::construction::{construct_domains, elect_superpeers, handle_sp_d
 
 fn network(n: usize, seed: u64) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
-    let cfg = TopologyConfig { nodes: n, m: 2, ..Default::default() };
+    let cfg = TopologyConfig {
+        nodes: n,
+        m: 2,
+        ..Default::default()
+    };
     Network::new(Graph::barabasi_albert(&cfg, &mut rng))
 }
 
@@ -39,14 +43,20 @@ fn broadcast_ttl_bounds_direct_assignments() {
     let mut ttl1 = network(300, 2);
     let sps1 = elect_superpeers(&ttl1, 5);
     let d1 = construct_domains(&mut ttl1, &sps1, 1);
-    let broadcast_hits_ttl1 =
-        d1.distance.iter().filter(|&&d| d != u64::MAX && d != u64::MAX - 1).count();
+    let broadcast_hits_ttl1 = d1
+        .distance
+        .iter()
+        .filter(|&&d| d != u64::MAX && d != u64::MAX - 1)
+        .count();
 
     let mut ttl3 = network(300, 2);
     let sps3 = elect_superpeers(&ttl3, 5);
     let d3 = construct_domains(&mut ttl3, &sps3, 3);
-    let broadcast_hits_ttl3 =
-        d3.distance.iter().filter(|&&d| d != u64::MAX && d != u64::MAX - 1).count();
+    let broadcast_hits_ttl3 = d3
+        .distance
+        .iter()
+        .filter(|&&d| d != u64::MAX && d != u64::MAX - 1)
+        .count();
 
     assert!(
         broadcast_hits_ttl3 > broadcast_hits_ttl1,
@@ -119,6 +129,9 @@ fn failed_vs_graceful_departure_cost_profile() {
     let probe_msgs = f.sent(MessageClass::Push);
 
     // Same partner count on both sides of the comparison.
-    assert_eq!(release_msgs, probe_msgs, "one notification per partner either way");
+    assert_eq!(
+        release_msgs, probe_msgs,
+        "one notification per partner either way"
+    );
     assert_eq!(f.sent(MessageClass::Control), 0);
 }
