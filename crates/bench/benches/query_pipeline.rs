@@ -24,7 +24,8 @@ fn global_summary(peers: usize, seed: u64) -> SummaryTree {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut gs = SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
     for p in 0..peers {
-        let data = generate_peer_data(&mut rng, p as u32, &bk, &templates, 0.1, 24);
+        let data = generate_peer_data(&mut rng, p as u32, &bk, &templates, 0.1, 24)
+            .expect("valid workload");
         let tree = saintetiq::wire::decode(&data.summary).expect("decodes");
         saintetiq::merge::merge_into(&mut gs, &tree, &EngineConfig::default()).expect("same CBK");
     }

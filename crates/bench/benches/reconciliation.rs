@@ -22,7 +22,11 @@ fn local_summaries(peers: usize, seed: u64) -> Vec<Bytes> {
     let templates = make_templates(3);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..peers)
-        .map(|p| generate_peer_data(&mut rng, p as u32, &bk, &templates, 0.1, 24).summary)
+        .map(|p| {
+            generate_peer_data(&mut rng, p as u32, &bk, &templates, 0.1, 24)
+                .expect("valid workload")
+                .summary
+        })
         .collect()
 }
 

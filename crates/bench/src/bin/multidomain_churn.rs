@@ -7,13 +7,22 @@
 //! reports network-wide recall, stale answers, false negatives and the
 //! maintenance traffic the recall was bought with.
 //!
+//! With `--latency` the message plane is enabled: every push, token,
+//! query and flood rides a virtual-time delivery event, the table gains
+//! a time-to-answer column, and a `BENCH_latency.json` summary (mean
+//! time-to-answer, peak messages in flight, per-hop sweep) is written
+//! for the perf trajectory.
+//!
 //! Reading: at the paper's α, reconciliation frequency adapts to the
 //! churn rate and recall stays in the α-band; with a lax α the pull
 //! cannot keep up and recall degrades monotonically with churn.
 
+use std::fs;
+
+use p2psim::time::SimTime;
 use summary_p2p::config::SimConfig;
 use summary_p2p::kernel::LookupTarget;
-use summary_p2p::scenario::figure_multidomain_churn;
+use summary_p2p::scenario::{figure_latency_sweep, figure_multidomain_churn, with_latency};
 
 use sumq_bench::{f1, f4, render_csv, render_table, Cli};
 
@@ -33,12 +42,20 @@ fn main() {
         base.seed = cli.seed;
         base.records_per_peer = 16;
         base.query_count = if cli.quick { 60 } else { 200 };
+        if cli.latency {
+            base = with_latency(&base, SimTime::from_millis(50));
+        }
 
         eprintln!(
-            "multidomain-churn: {} peers in ~{} domains, alpha {alpha}, {} churn scales ...",
+            "multidomain-churn: {} peers in ~{} domains, alpha {alpha}, {} churn scales{} ...",
             n,
             n / 50,
-            scales.len()
+            scales.len(),
+            if cli.latency {
+                ", latency plane on"
+            } else {
+                ""
+            }
         );
         let points =
             figure_multidomain_churn(scales, &base, 50, LookupTarget::Total).expect("valid config");
@@ -51,6 +68,7 @@ fn main() {
                 f4(p.mean_stale_answers),
                 f4(p.mean_false_negatives),
                 f1(p.mean_messages),
+                f4(p.mean_time_to_answer_s),
                 p.reconciliations.to_string(),
                 p.report.push_messages.to_string(),
                 p.report.cache_hits.to_string(),
@@ -66,10 +84,56 @@ fn main() {
         "stale_answers",
         "false_negatives",
         "msgs_per_query",
+        "tta_s",
         "reconciliations",
         "push_msgs",
         "cache_hits",
     ];
     println!("{}", render_table(&headers, &rows));
     println!("{}", render_csv(&headers, &rows));
+
+    if cli.latency {
+        write_latency_summary(&cli, n);
+    }
+}
+
+/// Runs the hop-latency sweep and writes `BENCH_latency.json` — the
+/// perf-trajectory summary of the message plane.
+fn write_latency_summary(cli: &Cli, n: usize) {
+    let hops: &[u64] = if cli.quick {
+        &[5, 200, 2000]
+    } else {
+        &[1, 5, 50, 200, 2000, 20_000]
+    };
+    let mut base = SimConfig::paper_defaults(n, 0.3);
+    base.seed = cli.seed;
+    base.records_per_peer = 16;
+    base.query_count = if cli.quick { 60 } else { 200 };
+    eprintln!("latency sweep: {} hop settings ...", hops.len());
+    let points = figure_latency_sweep(hops, &base, 50, LookupTarget::Total).expect("valid config");
+
+    let mut sweep = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            sweep.push(',');
+        }
+        sweep.push_str(&format!(
+            "\n    {{\"hop_ms\": {}, \"mean_time_to_answer_s\": {:.6}, \"peak_in_flight\": {}, \
+             \"mean_recall\": {:.6}, \"mean_stale_answers\": {:.6}, \"mean_messages\": {:.2}}}",
+            p.hop_ms,
+            p.mean_time_to_answer_s,
+            p.peak_in_flight,
+            p.mean_recall,
+            p.mean_stale_answers,
+            p.mean_messages
+        ));
+    }
+    let mid = &points[points.len() / 2];
+    let json = format!(
+        "{{\n  \"bench\": \"latency_plane\",\n  \"n_peers\": {},\n  \"seed\": {},\n  \
+         \"mean_time_to_answer_s\": {:.6},\n  \"peak_in_flight\": {},\n  \"sweep\": [{}\n  ]\n}}\n",
+        n, cli.seed, mid.mean_time_to_answer_s, mid.peak_in_flight, sweep
+    );
+    fs::write("BENCH_latency.json", &json).expect("write BENCH_latency.json");
+    eprintln!("wrote BENCH_latency.json");
 }

@@ -16,6 +16,9 @@ pub struct Cli {
     pub seed: u64,
     /// Quick mode (`--quick`): smaller grids for CI-speed runs.
     pub quick: bool,
+    /// Message plane on (`--latency`): protocol traffic rides
+    /// virtual-time delivery events instead of applying instantly.
+    pub latency: bool,
 }
 
 impl Cli {
@@ -24,6 +27,7 @@ impl Cli {
         let mut cli = Cli {
             seed: 42,
             quick: false,
+            latency: false,
         };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
@@ -37,6 +41,7 @@ impl Cli {
                         .unwrap_or_else(|_| usage("--seed takes an integer"));
                 }
                 "--quick" => cli.quick = true,
+                "--latency" => cli.latency = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag `{other}`")),
             }
@@ -68,7 +73,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <fig binary> [--seed N] [--quick]");
+    eprintln!("usage: <fig binary> [--seed N] [--quick] [--latency]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -160,12 +165,14 @@ mod tests {
         let cli = Cli {
             seed: 42,
             quick: false,
+            latency: false,
         };
         assert_eq!(cli.domain_sizes().first(), Some(&16));
         assert_eq!(cli.domain_sizes().last(), Some(&5000));
         let quick = Cli {
             seed: 42,
             quick: true,
+            latency: false,
         };
         assert!(quick.domain_sizes().len() < cli.domain_sizes().len());
     }

@@ -20,6 +20,73 @@ use p2psim::time::SimTime;
 use crate::error::P2pError;
 use crate::routing::RoutingPolicy;
 
+/// How protocol messages move through virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeliveryMode {
+    /// Messages apply synchronously inside the sending event — the seed
+    /// semantics every Figure 4–7 driver uses. Counts and bytes are
+    /// accounted, but no virtual time elapses between send and effect.
+    Instantaneous,
+    /// Every message becomes a scheduled delivery event whose firing
+    /// time is drawn from topology link latencies: reconciliation rings,
+    /// floods and §5.2.2 lookups take virtual time, and peers that churn
+    /// out mid-conversation actually drop tokens.
+    Latency(LatencyConfig),
+}
+
+/// Tunables of the latency-aware message plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyConfig {
+    /// Fallback one-way latency for hops with no known topology link
+    /// (the implicit SP of the single-domain simulation, SP long-range
+    /// links, selective-walk partners).
+    pub default_hop: SimTime,
+    /// Multiplier applied to topology link latencies (1.0 = the
+    /// topology's euclidean-embedding latencies verbatim).
+    pub scale: f64,
+    /// Serialization rate in wire bytes per second: transit time is
+    /// propagation + `wire_bytes / bandwidth`.
+    pub bandwidth_bytes_per_s: u64,
+    /// Watchdog for multi-event conversations (reconciliation rings,
+    /// inter-domain lookups): a conversation whose token or branches
+    /// went silent for this long completes with what it gathered.
+    pub conversation_timeout: SimTime,
+}
+
+impl LatencyConfig {
+    /// A WAN-flavoured default: 50 ms hops, 10 Mbit/s serialization and
+    /// a 10-minute conversation watchdog.
+    pub fn wan_default() -> Self {
+        Self {
+            default_hop: SimTime::from_millis(50),
+            scale: 1.0,
+            bandwidth_bytes_per_s: 1_250_000,
+            conversation_timeout: SimTime::from_mins(10),
+        }
+    }
+
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), P2pError> {
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(P2pError::BadConfig(format!(
+                "latency scale {} must be finite and positive",
+                self.scale
+            )));
+        }
+        if self.bandwidth_bytes_per_s == 0 {
+            return Err(P2pError::BadConfig(
+                "latency bandwidth must be positive".into(),
+            ));
+        }
+        if self.conversation_timeout == SimTime::ZERO {
+            return Err(P2pError::BadConfig(
+                "conversation timeout must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// All tunables of a summary-management experiment.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -54,6 +121,14 @@ pub struct SimConfig {
     pub sumpeer_ttl: u32,
     /// Barabási–Albert attachment parameter (m = 2 → average degree 4).
     pub topology_m: usize,
+    /// Message delivery mode: [`DeliveryMode::Instantaneous`] reproduces
+    /// the seed figures byte-identically; [`DeliveryMode::Latency`]
+    /// routes every message through virtual-time delivery events.
+    pub delivery: DeliveryMode,
+    /// Summary-peer session lifetimes. `None` (the default) keeps SPs
+    /// immortal; `Some(dist)` schedules one departure per SP from the
+    /// distribution, mid-run (§4.3's release + re-home protocol).
+    pub sp_lifetime: Option<LifetimeDistribution>,
     /// Master seed; every stochastic choice derives from it.
     pub seed: u64,
 }
@@ -77,7 +152,17 @@ impl SimConfig {
             interdomain_k: 3.5,
             sumpeer_ttl: 2,
             topology_m: 2,
+            delivery: DeliveryMode::Instantaneous,
+            sp_lifetime: None,
             seed: 42,
+        }
+    }
+
+    /// The latency configuration when the message plane is enabled.
+    pub fn latency(&self) -> Option<LatencyConfig> {
+        match self.delivery {
+            DeliveryMode::Instantaneous => None,
+            DeliveryMode::Latency(lat) => Some(lat),
         }
     }
 
@@ -128,6 +213,9 @@ impl SimConfig {
         }
         if self.sumpeer_ttl == 0 {
             return Err(P2pError::BadConfig("sumpeer_ttl must be >= 1".into()));
+        }
+        if let DeliveryMode::Latency(lat) = self.delivery {
+            lat.validate()?;
         }
         Ok(())
     }
@@ -195,5 +283,38 @@ mod tests {
     fn expected_hits() {
         let c = SimConfig::paper_defaults(2000, 0.3);
         assert!((c.expected_hits() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delivery_defaults_to_instantaneous() {
+        // The escape hatch the figure drivers rely on: unless asked for,
+        // the message plane is off and PR 1 semantics apply verbatim.
+        let c = SimConfig::paper_defaults(100, 0.3);
+        assert_eq!(c.delivery, DeliveryMode::Instantaneous);
+        assert!(c.latency().is_none());
+        assert!(c.sp_lifetime.is_none());
+    }
+
+    #[test]
+    fn latency_config_is_validated() {
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.delivery = DeliveryMode::Latency(LatencyConfig::wan_default());
+        c.validate().unwrap();
+        assert!(c.latency().is_some());
+
+        let mut bad = LatencyConfig::wan_default();
+        bad.scale = 0.0;
+        c.delivery = DeliveryMode::Latency(bad);
+        assert!(c.validate().is_err());
+
+        let mut bad = LatencyConfig::wan_default();
+        bad.bandwidth_bytes_per_s = 0;
+        c.delivery = DeliveryMode::Latency(bad);
+        assert!(c.validate().is_err());
+
+        let mut bad = LatencyConfig::wan_default();
+        bad.conversation_timeout = SimTime::ZERO;
+        c.delivery = DeliveryMode::Latency(bad);
+        assert!(c.validate().is_err());
     }
 }

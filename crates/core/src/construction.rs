@@ -45,6 +45,29 @@ impl Domains {
     pub fn assigned_count(&self) -> usize {
         self.assignment.iter().filter(|a| a.is_some()).count()
     }
+
+    /// Virtual time at which peer `p` heard its SP's `sumpeer` broadcast
+    /// — the accumulated link latency along the broadcast tree. `None`
+    /// for SPs, unassigned peers and selective-walk partners (whose
+    /// broadcast-path latency is unknown).
+    pub fn join_time(&self, p: NodeId) -> Option<SimTime> {
+        match (self.assignment[p.index()], self.distance[p.index()]) {
+            (Some(_), d) if d < u64::MAX - 1 => Some(SimTime(d)),
+            _ => None,
+        }
+    }
+
+    /// Virtual time at which the construction broadcast completed: the
+    /// latest broadcast-tree delivery across all assigned peers. The
+    /// latency-aware kernel reports this as the construction span — the
+    /// window during which a real deployment's domains were still
+    /// forming.
+    pub fn completion_time(&self) -> SimTime {
+        (0..self.assignment.len() as u32)
+            .filter_map(|i| self.join_time(NodeId(i)))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
 }
 
 /// Elects `count` summary peers: the highest-degree live nodes, the
@@ -183,6 +206,9 @@ pub fn handle_sp_departure(
     let mut rehomed = 0;
     for p in members {
         domains.assignment[p.index()] = None;
+        // The broadcast-tree latency was measured to the departed SP;
+        // whatever domain the walk finds, the path latency is unknown.
+        domains.distance[p.index()] = u64::MAX - 1;
         if !net.is_up(p) {
             continue;
         }
@@ -266,6 +292,20 @@ mod tests {
         let domains = construct_domains(&mut n, &[NodeId(0), NodeId(3)], 2);
         assert_eq!(domains.assignment[1], Some(NodeId(0)), "a is closer to sp0");
         assert_eq!(domains.assignment[2], Some(NodeId(3)), "b is closer to sp1");
+    }
+
+    #[test]
+    fn broadcast_tree_delivers_over_link_latencies() {
+        // Line: sp0 - a - b, 1 ms links: a joins at 1 ms, b at 2 ms.
+        let mut g = Graph::empty(3);
+        g.add_edge(NodeId(0), NodeId(1), SimTime::from_millis(1));
+        g.add_edge(NodeId(1), NodeId(2), SimTime::from_millis(1));
+        let mut n = Network::new(g);
+        let domains = construct_domains(&mut n, &[NodeId(0)], 2);
+        assert_eq!(domains.join_time(NodeId(1)), Some(SimTime::from_millis(1)));
+        assert_eq!(domains.join_time(NodeId(2)), Some(SimTime::from_millis(2)));
+        assert_eq!(domains.join_time(NodeId(0)), None, "SPs do not join");
+        assert_eq!(domains.completion_time(), SimTime::from_millis(2));
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub enum P2pError {
     NotAPartner(u32),
     /// The underlying summarization layer failed.
     Summary(saintetiq::SummaryError),
+    /// The relational layer rejected generated workload data.
+    Relation(relation::RelationError),
     /// A configuration value is out of its legal range.
     BadConfig(String),
 }
@@ -24,6 +26,7 @@ impl fmt::Display for P2pError {
             P2pError::NotASummaryPeer(p) => write!(f, "peer {p} is not a summary peer"),
             P2pError::NotAPartner(p) => write!(f, "peer {p} is not a partner of this domain"),
             P2pError::Summary(e) => write!(f, "summarization error: {e}"),
+            P2pError::Relation(e) => write!(f, "relational error: {e}"),
             P2pError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
         }
     }
@@ -33,6 +36,7 @@ impl std::error::Error for P2pError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             P2pError::Summary(e) => Some(e),
+            P2pError::Relation(e) => Some(e),
             _ => None,
         }
     }
@@ -41,6 +45,12 @@ impl std::error::Error for P2pError {
 impl From<saintetiq::SummaryError> for P2pError {
     fn from(e: saintetiq::SummaryError) -> Self {
         P2pError::Summary(e)
+    }
+}
+
+impl From<relation::RelationError> for P2pError {
+    fn from(e: relation::RelationError) -> Self {
+        P2pError::Relation(e)
     }
 }
 

@@ -27,7 +27,13 @@
 //!   `p2psim::Simulator` loop and rebuilds multi-domain routing on the
 //!   *live* per-domain GS/CL state, so recall, stale answers and false
 //!   negatives are measurable network-wide while maintenance runs;
-//!   [`kernel::MultiDomainSim`] is the dynamic entry point;
+//!   [`kernel::MultiDomainSim`] is the dynamic entry point. Under
+//!   [`config::DeliveryMode::Latency`] the kernel routes every protocol
+//!   message through virtual-time delivery events (the *message plane*):
+//!   reconciliation rings and §5.2.2 lookups become multi-event
+//!   conversations with genuine time-to-answer, while the default
+//!   [`config::DeliveryMode::Instantaneous`] reproduces the figure
+//!   pipelines byte-identically;
 //! * [`domain`] — [`domain::DomainSim`], the single-domain facade the
 //!   Figure 4–6 drivers use (one `DomainCore`, intra-domain queries);
 //! * [`system`] — [`system::MultiDomainSystem`], the frozen t = 0 facade
@@ -76,7 +82,7 @@ pub mod scenario;
 pub mod system;
 pub mod workload;
 
-pub use config::SimConfig;
+pub use config::{DeliveryMode, LatencyConfig, SimConfig};
 pub use coop::CooperationList;
 pub use domain::DomainSim;
 pub use error::P2pError;

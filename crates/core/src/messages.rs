@@ -6,6 +6,9 @@
 //! cheap to provide).
 
 use p2psim::network::{MessageClass, NodeId};
+use p2psim::time::SimTime;
+
+use crate::config::LatencyConfig;
 
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +96,19 @@ impl Message {
             Message::FloodRequest { .. } => HEADER + 68,
         }
     }
+
+    /// One-way transit time of this message over a link with base
+    /// (propagation) latency `link`: scaled propagation plus
+    /// serialization of the wire bytes at the configured bandwidth.
+    /// Strictly positive — even a zero-latency link costs at least the
+    /// serialization of the header, and a 1 µs floor keeps every
+    /// delivery event at a positive virtual-time offset.
+    pub fn transit_time(&self, link: SimTime, lat: &LatencyConfig) -> SimTime {
+        let prop_us = (link.0 as f64 * lat.scale).round() as u64;
+        let ser_us =
+            (self.wire_bytes() as u64 * 1_000_000).div_ceil(lat.bandwidth_bytes_per_s.max(1));
+        SimTime((prop_us + ser_us).max(1))
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +157,27 @@ mod tests {
         let hit0 = Message::QueryHit { results: 0 }.wire_bytes();
         let hit9 = Message::QueryHit { results: 9 }.wire_bytes();
         assert!(hit9 > hit0);
+    }
+
+    #[test]
+    fn transit_time_is_positive_and_scales() {
+        let lat = LatencyConfig::wan_default();
+        let link = SimTime::from_millis(20);
+        // Per-class costing: a fat reconciliation token takes longer
+        // than a push over the same link.
+        let push = Message::Push { value: 1 }.transit_time(link, &lat);
+        let token = Message::ReconciliationToken { bytes: 200_000 }.transit_time(link, &lat);
+        assert!(push >= link, "propagation is a floor");
+        assert!(token > push, "serialization shows up per class");
+
+        // Even a zero-latency link yields a strictly positive transit.
+        let zero = Message::Drop.transit_time(SimTime::ZERO, &lat);
+        assert!(zero > SimTime::ZERO);
+
+        // The scale multiplier stretches propagation.
+        let mut double = lat;
+        double.scale = 2.0;
+        let stretched = Message::Push { value: 1 }.transit_time(link, &double);
+        assert!(stretched > push);
     }
 }

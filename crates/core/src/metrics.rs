@@ -238,6 +238,17 @@ pub struct MultiDomainReport {
     pub construction_messages: u64,
     /// Cache hits observed during inter-domain flooding.
     pub cache_hits: u64,
+    /// Mean virtual seconds between posing a lookup and completing it.
+    /// Strictly positive under the latency message plane; 0.0 in
+    /// instantaneous mode.
+    pub mean_time_to_answer_s: f64,
+    /// High-water mark of messages simultaneously in flight on the
+    /// message plane (0 in instantaneous mode).
+    pub peak_in_flight: u64,
+    /// Per-class delivery-latency distribution: `(class, deliveries,
+    /// mean in-flight seconds)`, for every class that saw latency-mode
+    /// deliveries. Empty in instantaneous mode.
+    pub latency_by_class: Vec<(MessageClass, u64, f64)>,
     /// Per-lookup `(virtual time in seconds, recall)` samples, in query
     /// order — the raw series behind recall-over-time analyses.
     pub samples: Vec<(f64, f64)>,
@@ -245,6 +256,7 @@ pub struct MultiDomainReport {
 
 impl MultiDomainReport {
     /// Builds the report from a finished kernel run.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_run(
         cfg: &SimConfig,
         n_domains: usize,
@@ -252,6 +264,7 @@ impl MultiDomainReport {
         ledger: &MessageLedger,
         reconciliations: u64,
         cache_hits: u64,
+        peak_in_flight: u64,
     ) -> Self {
         let q = outcomes.len().max(1) as f64;
         let mean = |f: &dyn Fn(&MultiDomainOutcome) -> f64| -> f64 {
@@ -274,6 +287,15 @@ impl MultiDomainReport {
             reconciliation_messages: ledger.sent(MessageClass::Reconciliation),
             construction_messages: ledger.sent(MessageClass::Construction),
             cache_hits,
+            mean_time_to_answer_s: mean(&|o| o.time_to_answer_s),
+            peak_in_flight,
+            latency_by_class: ledger
+                .latency_counters()
+                .iter()
+                .map(|(&class, &(n, total_us))| {
+                    (class, n, total_us as f64 / n.max(1) as f64 / 1_000_000.0)
+                })
+                .collect(),
             samples: outcomes
                 .iter()
                 .map(|(t, o)| (t.as_secs_f64(), o.recall()))

@@ -14,7 +14,9 @@
 
 use std::collections::BTreeMap;
 
+use bytes::Bytes;
 use p2psim::network::{MessageClass, NodeId};
+use p2psim::time::SimTime;
 use saintetiq::engine::EngineConfig;
 use saintetiq::hierarchy::SummaryTree;
 use saintetiq::query::proposition::Proposition;
@@ -64,11 +66,14 @@ impl PeerState {
     }
 }
 
-/// Message and wire-byte accounting per class.
+/// Message and wire-byte accounting per class, plus — in latency mode —
+/// per-class delivery-latency distributions (count + total virtual time
+/// between send and delivery).
 #[derive(Debug, Clone, Default)]
 pub struct MessageLedger {
     counters: BTreeMap<MessageClass, u64>,
     byte_counters: BTreeMap<MessageClass, u64>,
+    latency_counters: BTreeMap<MessageClass, (u64, u64)>,
 }
 
 impl MessageLedger {
@@ -98,6 +103,44 @@ impl MessageLedger {
     pub fn sent(&self, class: MessageClass) -> u64 {
         self.counters.get(&class).copied().unwrap_or(0)
     }
+
+    /// Records one latency-mode delivery: the message spent `latency`
+    /// virtual time in flight.
+    pub fn count_delivery(&mut self, class: MessageClass, latency: SimTime) {
+        let slot = self.latency_counters.entry(class).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += latency.0;
+    }
+
+    /// Per-class `(deliveries, total in-flight µs)` — the raw latency
+    /// distribution data.
+    pub fn latency_counters(&self) -> &BTreeMap<MessageClass, (u64, u64)> {
+        &self.latency_counters
+    }
+
+    /// Mean in-flight seconds of one class (0.0 when nothing of that
+    /// class was delivered — instantaneous mode, or the class is unused).
+    pub fn mean_latency_s(&self, class: MessageClass) -> f64 {
+        match self.latency_counters.get(&class) {
+            Some(&(n, total_us)) if n > 0 => total_us as f64 / n as f64 / 1_000_000.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// One member's summary snapshot as carried by a latency-mode
+/// reconciliation token: the member's local summary and match bits *at
+/// the virtual time the token passed through it*. If the member drifts
+/// or departs after its token hop, the stored GS keeps describing this
+/// snapshot — exactly the staleness window instantaneous delivery hides.
+#[derive(Debug, Clone)]
+pub struct SummarySnapshot {
+    /// The member the token visited.
+    pub peer: NodeId,
+    /// Its encoded local summary at token-pass time.
+    pub summary: Bytes,
+    /// Its exact match bits at token-pass time.
+    pub match_bits: u32,
 }
 
 /// One domain's summary-peer state: members, GS, CL and the §4.2–§4.3
@@ -120,6 +163,10 @@ pub struct DomainCore {
     /// Long-range links to other summary peers (§5.2.2's `k`-degree
     /// inter-domain shortcuts; empty in the single-domain simulation).
     pub long_links: Vec<NodeId>,
+    /// True after the SP departed (§4.3): the domain no longer answers
+    /// queries, forwards tokens or accepts pushes; its former members
+    /// re-home to surviving domains.
+    pub dissolved: bool,
 }
 
 impl DomainCore {
@@ -133,7 +180,21 @@ impl DomainCore {
             reconciliations: 0,
             gs_bytes_last: 0,
             long_links: Vec::new(),
+            dissolved: false,
         }
+    }
+
+    /// Tears the domain down after its SP departed: members, CL, GS and
+    /// long links are cleared; the slot stays in place so domain indices
+    /// held by in-flight conversations remain valid (their deliveries
+    /// no-op against a dissolved domain).
+    pub fn dissolve(&mut self) {
+        self.dissolved = true;
+        self.members.clear();
+        self.cl = CooperationList::new();
+        self.gs = empty_gs();
+        self.gs_bytes_last = 0;
+        self.long_links.clear();
     }
 
     /// Initial construction (§4.1): every member ships its `localsum`,
@@ -238,6 +299,85 @@ impl DomainCore {
         self.maybe_reconcile(alpha, peers, ledger);
     }
 
+    /// Latency-mode arrival of a freshness push at the SP: the CL
+    /// transition alone. The α check and the ring *conversation* live in
+    /// the kernel, which owns the virtual clock; message accounting
+    /// happened at send time. A push from a non-member (e.g. one that
+    /// was removed while the push was in flight) is dropped.
+    pub fn apply_push(&mut self, peer: NodeId, freshness: Freshness) -> bool {
+        if self.dissolved {
+            return false;
+        }
+        self.cl.set_freshness(peer, freshness)
+    }
+
+    /// Latency-mode arrival of a (re)joining member's `localsum` at the
+    /// SP: the member enters the CL stale, awaiting the next pull. If
+    /// the peer was never a member of this domain (an SP-churn re-home),
+    /// it also enters the member list.
+    pub fn apply_localsum(&mut self, peer: NodeId) -> bool {
+        if self.dissolved {
+            return false;
+        }
+        if !self.members.contains(&peer) {
+            self.members.push(peer);
+        }
+        self.cl.add_partner(peer, Freshness::NeedsRefresh);
+        true
+    }
+
+    /// Latency-mode completion of a reconciliation ring: the SP stores
+    /// `NewGS` — the merge of exactly the snapshots the token gathered —
+    /// and resets the CL. Members the token *missed* (it was dropped at
+    /// a churned-out peer and the watchdog fired) keep their stale flags
+    /// if they are up, so α re-arms a follow-up ring; missed members
+    /// that are down are removed. Message accounting happened per hop at
+    /// send time, so nothing is counted here.
+    pub fn reconcile_from_snapshots(
+        &mut self,
+        gathered: &[SummarySnapshot],
+        peers: &mut [Option<PeerState>],
+    ) {
+        let mut gs = empty_gs();
+        let ecfg = EngineConfig::default();
+        for snap in gathered {
+            let tree = wire::decode(&snap.summary).expect("locally encoded summaries decode");
+            saintetiq::merge::merge_into(&mut gs, &tree, &ecfg).expect("same CBK everywhere");
+        }
+        let visited: std::collections::BTreeSet<NodeId> = gathered.iter().map(|s| s.peer).collect();
+        for &m in &self.members {
+            if let Some(peer) = peers[m.index()].as_mut() {
+                peer.merged_bits = if visited.contains(&m) {
+                    gathered
+                        .iter()
+                        .find(|s| s.peer == m)
+                        .map(|s| s.match_bits)
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+            }
+        }
+        self.gs_bytes_last = wire::encoded_size(&gs);
+        self.gs = gs;
+        let up = |p: NodeId| peers[p.index()].as_ref().is_some_and(|s| s.up);
+        // Token-visited members reset to fresh; unvisited live members
+        // keep their flags (partial pull); unvisited down members drop.
+        let stale_survivors: Vec<(NodeId, Freshness)> = self
+            .cl
+            .partners()
+            .filter(|p| !visited.contains(p) && up(*p))
+            .map(|p| (p, self.cl.freshness(p).unwrap_or(Freshness::NeedsRefresh)))
+            .collect();
+        self.cl.reconcile(|p| visited.contains(&p) || up(p));
+        for (p, f) in stale_survivors {
+            self.cl.set_freshness(p, f);
+        }
+        let cl = &self.cl;
+        self.members.retain(|&m| cl.contains(m));
+        self.reconciliations += 1;
+    }
+
     /// A member rejoins: ships its `localsum` and awaits the next pull
     /// before the GS describes it.
     pub fn on_join(
@@ -306,9 +446,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let peers: Vec<Option<PeerState>> = (0..n)
             .map(|p| {
-                Some(PeerState::new(generate_peer_data(
-                    &mut rng, p, &bk, &templates, 0.3, 10,
-                )))
+                Some(PeerState::new(
+                    generate_peer_data(&mut rng, p, &bk, &templates, 0.3, 10)
+                        .expect("valid workload"),
+                ))
             })
             .collect();
         let core = DomainCore::new(None, (0..n).map(NodeId).collect());
@@ -369,6 +510,84 @@ mod tests {
         core.on_drift(NodeId(2), 0.3, &mut peers, &mut ledger);
         assert_eq!(core.reconciliations, 1);
         assert_eq!(core.cl.stale_fraction(), 0.0, "reset after the pull");
+    }
+
+    #[test]
+    fn partial_snapshot_reconciliation_keeps_missed_live_members() {
+        let (mut core, mut peers) = domain_with_peers(6);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger);
+        for p in 0..6 {
+            core.cl.set_freshness(NodeId(p), Freshness::NeedsRefresh);
+        }
+        peers[4].as_mut().unwrap().up = false;
+        // The token visited members 0..3 and was dropped before 3..6.
+        let gathered: Vec<SummarySnapshot> = (0..3u32)
+            .map(|p| {
+                let st = peers[p as usize].as_ref().unwrap();
+                SummarySnapshot {
+                    peer: NodeId(p),
+                    summary: st.data.summary.clone(),
+                    match_bits: st.data.match_bits,
+                }
+            })
+            .collect();
+        core.reconcile_from_snapshots(&gathered, &mut peers);
+        assert_eq!(
+            core.gs.all_sources().len(),
+            3,
+            "GS holds exactly the gathered snapshots"
+        );
+        assert_eq!(core.cl.freshness(NodeId(0)), Some(Freshness::Fresh));
+        assert_eq!(
+            core.cl.freshness(NodeId(3)),
+            Some(Freshness::NeedsRefresh),
+            "missed live member keeps its stale flag so α re-arms"
+        );
+        assert!(!core.cl.contains(NodeId(4)), "missed down member dropped");
+        assert!(core.members.contains(&NodeId(3)));
+        assert!(!core.members.contains(&NodeId(4)));
+        assert_eq!(core.reconciliations, 1);
+    }
+
+    #[test]
+    fn dissolve_clears_domain_state() {
+        let (mut core, mut peers) = domain_with_peers(5);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger);
+        core.dissolve();
+        assert!(core.dissolved);
+        assert!(core.members.is_empty());
+        assert!(core.cl.is_empty());
+        assert_eq!(core.gs.all_sources().len(), 0);
+        assert!(!core.apply_push(NodeId(1), Freshness::NeedsRefresh));
+        assert!(!core.apply_localsum(NodeId(1)));
+    }
+
+    #[test]
+    fn localsum_arrival_admits_rehomed_strangers() {
+        let (mut core, mut peers) = domain_with_peers(4);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger);
+        // A re-homed peer from a dissolved domain carries a foreign id.
+        assert!(core.apply_localsum(NodeId(99)));
+        assert!(core.members.contains(&NodeId(99)));
+        assert_eq!(core.cl.freshness(NodeId(99)), Some(Freshness::NeedsRefresh));
+    }
+
+    #[test]
+    fn ledger_latency_accounting() {
+        let mut ledger = MessageLedger::new();
+        assert_eq!(ledger.mean_latency_s(MessageClass::Push), 0.0);
+        ledger.count_delivery(MessageClass::Push, SimTime::from_millis(50));
+        ledger.count_delivery(MessageClass::Push, SimTime::from_millis(150));
+        ledger.count_delivery(MessageClass::Query, SimTime::from_millis(10));
+        assert!((ledger.mean_latency_s(MessageClass::Push) - 0.1).abs() < 1e-12);
+        assert!((ledger.mean_latency_s(MessageClass::Query) - 0.01).abs() < 1e-12);
+        assert_eq!(
+            ledger.latency_counters().get(&MessageClass::Push),
+            Some(&(2, 200_000))
+        );
     }
 
     #[test]

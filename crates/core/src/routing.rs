@@ -15,12 +15,17 @@
 //! stale-flagged peer counts as wrong) and the **real** accounting
 //! against exact ground truth.
 
+use std::collections::{BTreeSet, VecDeque};
+
 use p2psim::network::NodeId;
+use p2psim::time::SimTime;
 use saintetiq::hierarchy::SummaryTree;
 use saintetiq::query::proposition::Proposition;
 use saintetiq::query::relevant_sources;
 
 use crate::coop::CooperationList;
+use crate::kernel::MultiDomainOutcome;
+use crate::peerstate::SummarySnapshot;
 
 /// Which subset of the localized peers a query visits (§6.1.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +61,126 @@ pub struct QueryOutcome {
     /// Messages: 1 (query to SP) + |V| (forwards) + answers (§6.1.2's
     /// `Cd = 1 + |P_Q| + (1 − FP)·|P_Q|`).
     pub messages: u64,
+}
+
+/// State of one latency-mode reconciliation ring (§4.2.2 as a
+/// multi-event conversation): the token hops from live member to live
+/// member as scheduled deliveries, gathering summary snapshots. A hop
+/// that lands on a churned-out peer silently drops the token; the SP's
+/// watchdog then completes the pull with whatever was gathered.
+#[derive(Debug)]
+pub(crate) struct RingConversation {
+    /// The domain running the ring.
+    pub domain: usize,
+    /// Members the token has not visited yet, in ring order.
+    pub route: VecDeque<NodeId>,
+    /// Snapshots collected so far, in visit order.
+    pub gathered: Vec<SummarySnapshot>,
+    /// Set once the SP stored `NewGS` (completion or watchdog): late
+    /// token deliveries and the unfired watchdog become no-ops.
+    pub done: bool,
+}
+
+impl RingConversation {
+    /// A ring over the given hop order.
+    pub fn new(domain: usize, route: Vec<NodeId>) -> Self {
+        Self {
+            domain,
+            route: route.into(),
+            gathered: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Current token payload size: the gathered summaries (`NewGS`
+    /// grows along the ring), floored at one header's worth.
+    pub fn token_bytes(&self) -> usize {
+        self.gathered
+            .iter()
+            .map(|s| s.summary.len())
+            .sum::<usize>()
+            .max(64)
+    }
+}
+
+/// State of one latency-mode inter-domain lookup (§5.2.2 as a
+/// multi-event conversation): query deliveries fan out to domain SPs,
+/// per-peer answers and flood discoveries come back as further
+/// deliveries, and the lookup completes when its target is met, every
+/// branch has drained, or the watchdog fires.
+#[derive(Debug)]
+pub(crate) struct LookupConversation {
+    /// The partner that posed the query.
+    pub origin: NodeId,
+    /// Workload template index.
+    pub template: usize,
+    /// Results needed (`C_t`, or `usize::MAX` for a total lookup).
+    pub need: usize,
+    /// Virtual time the query was posed.
+    pub started: SimTime,
+    /// Ground-truth matches network-wide when the query was posed.
+    pub results_total: usize,
+    /// Peers whose (re-validated) answers reached the originator.
+    pub answered: BTreeSet<NodeId>,
+    /// Domains already queried *or* with a query in flight — dedup at
+    /// schedule time so a domain is contacted once per lookup.
+    pub seen_domains: BTreeSet<usize>,
+    /// Domains whose SP actually processed the query.
+    pub visited_domains: usize,
+    /// Summary-selected peers that turned out down or drifted —
+    /// including those that churned out while the answer was in flight.
+    pub stale_answers: usize,
+    /// Messages attributed to this lookup.
+    pub messages: u64,
+    /// Outstanding scheduled deliveries of this conversation.
+    pub branches: u64,
+    /// Set once the outcome was recorded: late deliveries are no-ops.
+    pub done: bool,
+}
+
+impl LookupConversation {
+    /// A fresh conversation.
+    pub fn new(
+        origin: NodeId,
+        template: usize,
+        need: usize,
+        started: SimTime,
+        results_total: usize,
+    ) -> Self {
+        Self {
+            origin,
+            template,
+            need,
+            started,
+            results_total,
+            answered: BTreeSet::new(),
+            seen_domains: BTreeSet::new(),
+            visited_domains: 0,
+            stale_answers: 0,
+            messages: 0,
+            branches: 0,
+            done: false,
+        }
+    }
+
+    /// True once enough answers arrived.
+    pub fn satisfied(&self) -> bool {
+        self.answered.len() >= self.need
+    }
+
+    /// The recorded outcome when the conversation completes at
+    /// `finished` virtual time.
+    pub fn outcome(&self, finished: SimTime) -> MultiDomainOutcome {
+        MultiDomainOutcome {
+            results: self.answered.len(),
+            results_total: self.results_total,
+            domains_visited: self.visited_domains,
+            messages: self.messages,
+            satisfied: self.answered.len() >= self.need.min(self.results_total),
+            stale_answers: self.stale_answers,
+            time_to_answer_s: finished.saturating_sub(self.started).as_secs_f64(),
+        }
+    }
 }
 
 /// Routes one query inside a domain and scores it against ground truth.

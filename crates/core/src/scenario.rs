@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::baselines;
-use crate::config::SimConfig;
+use crate::config::{DeliveryMode, LatencyConfig, SimConfig};
 use crate::costmodel;
 use crate::domain::DomainSim;
 use crate::error::P2pError;
@@ -218,6 +218,9 @@ pub struct MultiChurnPoint {
     pub mean_false_negatives: f64,
     /// Mean messages per lookup.
     pub mean_messages: f64,
+    /// Mean virtual time-to-answer per lookup (seconds; 0.0 in
+    /// instantaneous mode).
+    pub mean_time_to_answer_s: f64,
     /// Reconciliation rounds across all domains.
     pub reconciliations: u64,
     /// Full report for deeper inspection.
@@ -271,7 +274,65 @@ pub fn figure_multidomain_churn(
             mean_stale_answers: report.mean_stale_answers,
             mean_false_negatives: report.mean_false_negatives,
             mean_messages: report.mean_messages,
+            mean_time_to_answer_s: report.mean_time_to_answer_s,
             reconciliations: report.reconciliations,
+            report,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of the latency sweep.
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// Default hop latency in milliseconds.
+    pub hop_ms: u64,
+    /// Mean virtual time-to-answer per lookup, seconds.
+    pub mean_time_to_answer_s: f64,
+    /// Mean network-wide recall.
+    pub mean_recall: f64,
+    /// Mean stale answers per lookup.
+    pub mean_stale_answers: f64,
+    /// Mean messages per lookup.
+    pub mean_messages: f64,
+    /// Peak messages simultaneously in flight.
+    pub peak_in_flight: u64,
+    /// Full report for deeper inspection.
+    pub report: MultiDomainReport,
+}
+
+/// Enables the message plane on a configuration with the given default
+/// hop latency (other latency knobs at their WAN defaults).
+pub fn with_latency(cfg: &SimConfig, hop: SimTime) -> SimConfig {
+    let mut out = *cfg;
+    out.delivery = DeliveryMode::Latency(LatencyConfig {
+        default_hop: hop,
+        ..LatencyConfig::wan_default()
+    });
+    out
+}
+
+/// The message-plane experiment: the same dynamic multi-domain run at
+/// increasing hop latencies. Time-to-answer grows with the hop latency;
+/// recall degrades once rings and lookups are slow enough that answers
+/// arrive about peers that already churned away.
+pub fn figure_latency_sweep(
+    hop_ms: &[u64],
+    base: &SimConfig,
+    domain_target: usize,
+    target: LookupTarget,
+) -> Result<Vec<LatencyPoint>, P2pError> {
+    let mut out = Vec::new();
+    for &ms in hop_ms {
+        let cfg = with_latency(base, SimTime::from_millis(ms));
+        let report = MultiDomainSim::new(cfg, domain_target, target)?.run();
+        out.push(LatencyPoint {
+            hop_ms: ms,
+            mean_time_to_answer_s: report.mean_time_to_answer_s,
+            mean_recall: report.mean_recall,
+            mean_stale_answers: report.mean_stale_answers,
+            mean_messages: report.mean_messages,
+            peak_in_flight: report.peak_in_flight,
             report,
         });
     }

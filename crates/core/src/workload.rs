@@ -20,6 +20,8 @@ use saintetiq::cell::SourceId;
 use saintetiq::engine::{EngineConfig, SaintEtiQEngine};
 use saintetiq::wire;
 
+use crate::error::P2pError;
+
 /// One workload query template.
 #[derive(Debug, Clone)]
 pub struct QueryTemplate {
@@ -98,6 +100,8 @@ impl PeerData {
 /// `match_fraction`; matched templates contribute one guaranteed matching
 /// tuple, the rest of the `records` rows are background. Ground truth is
 /// re-verified by exact evaluation before the table is discarded.
+/// Relational and summarization failures propagate as [`P2pError`]
+/// instead of panicking.
 pub fn generate_peer_data<R: Rng + ?Sized>(
     rng: &mut R,
     peer: u32,
@@ -105,16 +109,14 @@ pub fn generate_peer_data<R: Rng + ?Sized>(
     templates: &[QueryTemplate],
     match_fraction: f64,
     records: usize,
-) -> PeerData {
+) -> Result<PeerData, P2pError> {
     let bg = background_distributions();
     let mut table = Table::new(Schema::patient());
     let mut match_bits = 0u32;
     for (t, tpl) in templates.iter().enumerate() {
         if rng.gen_bool(match_fraction.clamp(0.0, 1.0)) {
             match_bits |= 1 << t;
-            table
-                .insert(matching_patient(rng, &bg, &tpl.target))
-                .expect("generated row conforms");
+            table.insert(matching_patient(rng, &bg, &tpl.target))?;
         }
     }
     while table.len() < records.max(1) {
@@ -126,12 +128,12 @@ pub fn generate_peer_data<R: Rng + ?Sized>(
         } else {
             avoiding_patient(rng, &bg, &templates[0].target)
         };
-        table.insert(row).expect("generated row conforms");
+        table.insert(row)?;
     }
 
     // Exact ground-truth verification (the workload's core guarantee).
     for (t, tpl) in templates.iter().enumerate() {
-        let truly = tpl.query.matches_any(&table).expect("valid query");
+        let truly = tpl.query.matches_any(&table)?;
         debug_assert_eq!(truly, match_bits & (1 << t) != 0, "ground truth drift");
     }
 
@@ -140,15 +142,14 @@ pub fn generate_peer_data<R: Rng + ?Sized>(
         &Schema::patient(),
         EngineConfig::default(),
         SourceId(peer),
-    )
-    .expect("CBK binds to the patient schema");
+    )?;
     engine.summarize_table(&table);
     let tree = engine.into_tree();
-    PeerData {
+    Ok(PeerData {
         match_bits,
         cells: tree.leaf_count(),
         summary: wire::encode(&tree),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -186,17 +187,17 @@ mod tests {
     }
 
     #[test]
-    fn peer_data_ground_truth_is_exact() {
+    fn peer_data_ground_truth_is_exact() -> Result<(), P2pError> {
         let bk = BackgroundKnowledge::medical_cbk();
         let templates = make_templates(3);
         let mut rng = StdRng::seed_from_u64(5);
         for peer in 0..50 {
-            let pd = generate_peer_data(&mut rng, peer, &bk, &templates, 0.5, 20);
+            let pd = generate_peer_data(&mut rng, peer, &bk, &templates, 0.5, 20)?;
             // Decode the summary and check that the match bits agree with
             // what summary-level routing would conclude for fresh data.
-            let tree = wire::decode(&pd.summary).unwrap();
+            let tree = wire::decode(&pd.summary)?;
             for (t, tpl) in templates.iter().enumerate() {
-                let sq = saintetiq::query::proposition::reformulate(&tpl.query, &bk).unwrap();
+                let sq = saintetiq::query::proposition::reformulate(&tpl.query, &bk)?;
                 let sources = saintetiq::query::relevant_sources(&tree, &sq.proposition);
                 let summary_says = sources.contains(&SourceId(peer));
                 assert_eq!(
@@ -207,6 +208,7 @@ mod tests {
                 );
             }
         }
+        Ok(())
     }
 
     #[test]
@@ -216,7 +218,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 2000;
         let matches = (0..n)
-            .filter(|&p| generate_peer_data(&mut rng, p, &bk, &templates, 0.10, 10).matches(0))
+            .filter(|&p| {
+                generate_peer_data(&mut rng, p, &bk, &templates, 0.10, 10)
+                    .expect("valid workload")
+                    .matches(0)
+            })
             .count();
         let rate = matches as f64 / n as f64;
         assert!(
@@ -226,14 +232,15 @@ mod tests {
     }
 
     #[test]
-    fn zero_match_fraction_yields_no_matches() {
+    fn zero_match_fraction_yields_no_matches() -> Result<(), P2pError> {
         let bk = BackgroundKnowledge::medical_cbk();
         let templates = make_templates(2);
         let mut rng = StdRng::seed_from_u64(11);
         for p in 0..20 {
-            let pd = generate_peer_data(&mut rng, p, &bk, &templates, 0.0, 15);
+            let pd = generate_peer_data(&mut rng, p, &bk, &templates, 0.0, 15)?;
             assert_eq!(pd.match_bits, 0);
         }
+        Ok(())
     }
 
     #[test]
@@ -241,7 +248,7 @@ mod tests {
         let bk = BackgroundKnowledge::medical_cbk();
         let templates = make_templates(3);
         let mut rng = StdRng::seed_from_u64(13);
-        let pd = generate_peer_data(&mut rng, 0, &bk, &templates, 0.1, 24);
+        let pd = generate_peer_data(&mut rng, 0, &bk, &templates, 0.1, 24).expect("valid workload");
         assert!(pd.cells <= 24 * 4, "cells {}", pd.cells);
         assert!(
             pd.summary.len() < 64 * 1024,

@@ -176,6 +176,36 @@ impl Network {
         out
     }
 
+    /// [`Network::flood_reach`] with per-node arrival latency: each
+    /// reached node is annotated with the accumulated link latency along
+    /// its BFS discovery path — when a latency-aware caller floods at
+    /// virtual time `t`, node `v` receives the request at `t + latency`.
+    pub fn flood_reach_timed(&self, origin: NodeId, ttl: u32) -> Vec<(NodeId, u32, SimTime)> {
+        let mut seen = vec![false; self.len()];
+        seen[origin.index()] = true;
+        let mut frontier = vec![(origin, SimTime::ZERO)];
+        let mut out = Vec::new();
+        for hop in 1..=ttl {
+            let mut next = Vec::new();
+            for &(u, du) in &frontier {
+                for e in self.graph.neighbors(u) {
+                    let v = e.node;
+                    if self.is_up(v) && !seen[v.index()] {
+                        seen[v.index()] = true;
+                        let dv = du + e.latency;
+                        out.push((v, hop, dv));
+                        next.push((v, dv));
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
     /// Number of edge messages a TTL flood from `origin` would send
     /// (every live node within reach forwards to all its live neighbors
     /// except where TTL expires — the classic Gnutella cost).
@@ -309,6 +339,24 @@ mod tests {
         // One side of the ring is cut at node 1.
         assert!(reach.iter().all(|&(v, _)| v != NodeId(1)));
         assert_eq!(reach.len(), 3, "only the other direction: 9, 8, 7");
+    }
+
+    #[test]
+    fn flood_reach_timed_accumulates_latency() {
+        let n = Network::new(Graph::ring(10, SimTime::from_millis(2)));
+        let reach = n.flood_reach_timed(NodeId(0), 3);
+        assert_eq!(reach.len(), 6);
+        for &(v, hops, lat) in &reach {
+            assert_eq!(
+                lat,
+                SimTime::from_millis(2 * hops as u64),
+                "node {v:?} at {hops} hops"
+            );
+        }
+        // Same nodes and hop counts as the untimed variant.
+        let untimed = n.flood_reach(NodeId(0), 3);
+        let plain: Vec<(NodeId, u32)> = reach.iter().map(|&(v, h, _)| (v, h)).collect();
+        assert_eq!(plain, untimed);
     }
 
     #[test]

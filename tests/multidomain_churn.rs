@@ -6,7 +6,7 @@
 use p2psim::time::SimTime;
 use summary_p2p::config::SimConfig;
 use summary_p2p::kernel::{LookupTarget, MultiDomainSim};
-use summary_p2p::scenario::{figure_multidomain_churn, scale_churn};
+use summary_p2p::scenario::{figure_multidomain_churn, scale_churn, with_latency};
 
 fn base(n: usize, seed: u64) -> SimConfig {
     let mut c = SimConfig::paper_defaults(n, 0.3);
@@ -157,6 +157,39 @@ fn lower_alpha_sustains_higher_recall_under_equal_churn() {
         "α=0.15 recall {} must not fall below α=0.95 recall {}",
         strict.mean_recall,
         lax.mean_recall
+    );
+}
+
+#[test]
+fn stale_answer_rate_grows_with_ring_latency() {
+    // With the message plane on, the reconciliation token crawls the
+    // ring at link speed: slower links stretch the staleness window
+    // between a peer churning and the GS noticing, so summary-selected
+    // peers fail ground truth more often per lookup.
+    let cfg = scale_churn(&base(150, 2), 2.0);
+    let run = |hop_ms: u64| {
+        MultiDomainSim::new(
+            with_latency(&cfg, SimTime::from_millis(hop_ms)),
+            25,
+            LookupTarget::Total,
+        )
+        .unwrap()
+        .run()
+    };
+    let crisp = run(1);
+    let sluggish = run(20_000);
+    assert!(crisp.queries > 0 && sluggish.queries > 0);
+    assert!(
+        sluggish.mean_stale_answers > crisp.mean_stale_answers,
+        "20 s ring hops must serve more stale answers than 1 ms hops: {} vs {}",
+        sluggish.mean_stale_answers,
+        crisp.mean_stale_answers
+    );
+    assert!(
+        sluggish.mean_time_to_answer_s > crisp.mean_time_to_answer_s,
+        "and answer slower: {} vs {}",
+        sluggish.mean_time_to_answer_s,
+        crisp.mean_time_to_answer_s
     );
 }
 
