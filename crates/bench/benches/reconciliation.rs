@@ -1,16 +1,22 @@
 //! Reconciliation-path benchmarks (§4.2.2): the cost of rebuilding a
-//! global summary as the token visits every live partner, plus the
-//! ring-vs-star ablation DESIGN.md calls out.
+//! global summary as the token visits every live partner, the
+//! ring-vs-star ablation DESIGN.md calls out, and the incremental
+//! accumulator against the from-scratch rebuild.
 //!
 //! The paper distributes the merge work along the ring so the SP does
 //! one store; the star alternative makes the SP merge every local
 //! summary itself. Total merge work is identical — the ablation shows
-//! the *SP-side* work differs, which is the point of the ring.
+//! the *SP-side* work differs, which is the point of the ring. The
+//! incremental group then shows the round cost collapsing from
+//! O(members) decodes + merges to O(stale subset) + one canonical
+//! store.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fuzzy::bk::BackgroundKnowledge;
 use rand::SeedableRng;
+use saintetiq::cell::SourceId;
+use saintetiq::delta::GsAccumulator;
 use saintetiq::engine::EngineConfig;
 use saintetiq::hierarchy::SummaryTree;
 use saintetiq::merge::merge_into;
@@ -88,5 +94,59 @@ fn bench_ring_vs_star(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rebuild, bench_ring_vs_star);
+/// Incremental vs full: one 1%-drift round at growing membership. The
+/// full path decodes + merges every partner; the incremental path
+/// re-pulls only the drifted partners into a primed accumulator and
+/// stores the canonical merged view.
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconciliation_incremental");
+    group.sample_size(10);
+    for &peers in &[200usize, 1_000] {
+        let summaries = local_summaries(peers, 3);
+        let drifted = local_summaries(peers, 4);
+        let dirty: Vec<usize> = (0..peers).step_by(100).collect(); // 1%
+        let mut primed = GsAccumulator::new("medical-cbk-v1", vec![3, 3, 3, 12]);
+        for (i, s) in summaries.iter().enumerate() {
+            primed
+                .update_source_encoded(SourceId(i as u32), s)
+                .expect("decodes");
+        }
+        group.bench_with_input(
+            BenchmarkId::new("full", peers),
+            &summaries,
+            |b, summaries| {
+                b.iter(|| {
+                    let mut gs = SummaryTree::new("medical-cbk-v1", vec![3, 3, 3, 12]);
+                    for s in summaries {
+                        let tree = wire::decode(s).expect("decodes");
+                        merge_into(&mut gs, &tree, &EngineConfig::default()).expect("same CBK");
+                    }
+                    gs.leaf_count()
+                })
+            },
+        );
+        // Re-applying the same updates is idempotent (each replaces its
+        // source's entry), so the primed accumulator can be mutated in
+        // place across iterations — the timed region is exactly one
+        // incremental round: |dirty| decodes + the canonical store.
+        group.bench_function(BenchmarkId::new("incremental_1pct", peers), |b| {
+            b.iter(|| {
+                for &i in &dirty {
+                    primed
+                        .update_source_encoded(SourceId(i as u32), &drifted[i])
+                        .expect("decodes");
+                }
+                primed.build_merged().leaf_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rebuild,
+    bench_ring_vs_star,
+    bench_incremental_vs_full
+);
 criterion_main!(benches);

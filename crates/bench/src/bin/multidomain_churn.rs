@@ -13,6 +13,14 @@
 //! time-to-answer, peak messages in flight, per-hop sweep) is written
 //! for the perf trajectory.
 //!
+//! With `--reconcile` the binary instead measures one §4.2.2 pull
+//! full-scratch vs incrementally (`scenario::reconcile_cost_sweep`) at
+//! two domain sizes and several drift fractions, and writes
+//! `BENCH_reconcile.json` — the perf-trajectory evidence that per-round
+//! merge work scales with the stale subset, not total membership, and
+//! that the incremental GS stays byte-identical to the from-scratch
+//! oracle.
+//!
 //! Reading: at the paper's α, reconciliation frequency adapts to the
 //! churn rate and recall stays in the α-band; with a lax α the pull
 //! cannot keep up and recall degrades monotonically with churn.
@@ -22,12 +30,18 @@ use std::fs;
 use p2psim::time::SimTime;
 use summary_p2p::config::SimConfig;
 use summary_p2p::kernel::LookupTarget;
-use summary_p2p::scenario::{figure_latency_sweep, figure_multidomain_churn, with_latency};
+use summary_p2p::scenario::{
+    figure_latency_sweep, figure_multidomain_churn, reconcile_cost_sweep, with_latency,
+};
 
 use sumq_bench::{f1, f4, render_csv, render_table, Cli};
 
 fn main() {
     let cli = Cli::parse();
+    if cli.reconcile {
+        write_reconcile_summary(&cli);
+        return;
+    }
     let n = if cli.quick { 300 } else { 1500 };
     let scales: &[f64] = if cli.quick {
         &[0.5, 2.0, 4.0]
@@ -136,4 +150,112 @@ fn write_latency_summary(cli: &Cli, n: usize) {
     );
     fs::write("BENCH_latency.json", &json).expect("write BENCH_latency.json");
     eprintln!("wrote BENCH_latency.json");
+}
+
+/// Runs the full-vs-incremental reconciliation sweep and writes
+/// `BENCH_reconcile.json` — per-round merge work and wall-clock of one
+/// pull, both ways, at two domain sizes.
+fn write_reconcile_summary(cli: &Cli) {
+    let sizes: &[usize] = if cli.quick {
+        &[300, 1000]
+    } else {
+        &[1000, 5000]
+    };
+    let fractions = [0.01, 0.1, 0.5];
+    let mut base = SimConfig::paper_defaults(sizes[0], 0.3);
+    base.seed = cli.seed;
+    base.records_per_peer = if cli.quick { 10 } else { 16 };
+    eprintln!(
+        "reconcile sweep: {} domain sizes x {} drift fractions ...",
+        sizes.len(),
+        fractions.len()
+    );
+    let points = reconcile_cost_sweep(sizes, &fractions, &base).expect("valid config");
+
+    let headers = [
+        "n",
+        "drift",
+        "stale",
+        "incr_merged",
+        "incr_skipped",
+        "incr_delta_kb",
+        "incr_hops",
+        "incr_ms",
+        "full_merged",
+        "full_ms",
+        "equivalent",
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n.to_string(),
+                format!("{:.2}", p.drift_fraction),
+                p.stale_members.to_string(),
+                p.incr_merged.to_string(),
+                p.incr_skipped.to_string(),
+                f1(p.incr_delta_bytes as f64 / 1024.0),
+                p.incr_token_hops.to_string(),
+                f1(p.incr_micros as f64 / 1000.0),
+                p.full_merged.to_string(),
+                f1(p.full_micros as f64 / 1000.0),
+                p.equivalent.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!("{}", render_csv(&headers, &rows));
+
+    let mut body = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "\n    {{\"n\": {}, \"drift_fraction\": {:.2}, \"stale_members\": {}, \
+             \"incr_merged_members\": {}, \"incr_skipped_members\": {}, \
+             \"incr_delta_bytes\": {}, \"incr_token_hops\": {}, \"incr_micros\": {}, \
+             \"full_merged_members\": {}, \"full_micros\": {}, \"gs_bytes\": {}, \
+             \"equivalent\": {}}}",
+            p.n,
+            p.drift_fraction,
+            p.stale_members,
+            p.incr_merged,
+            p.incr_skipped,
+            p.incr_delta_bytes,
+            p.incr_token_hops,
+            p.incr_micros,
+            p.full_merged,
+            p.full_micros,
+            p.gs_bytes,
+            p.equivalent
+        ));
+    }
+    // Headline: the 1%-drift round at the largest size.
+    let headline = points
+        .iter()
+        .filter(|p| p.drift_fraction <= 0.011)
+        .max_by_key(|p| p.n)
+        .expect("sweep is non-empty");
+    assert!(
+        headline.equivalent,
+        "incremental GS diverged from the from-scratch oracle"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"reconcile_incremental\",\n  \"seed\": {},\n  \
+         \"headline_n\": {},\n  \"headline_drift_fraction\": {:.2},\n  \
+         \"headline_incr_merged_members\": {},\n  \"headline_full_merged_members\": {},\n  \
+         \"headline_incr_micros\": {},\n  \"headline_full_micros\": {},\n  \
+         \"sweep\": [{}\n  ]\n}}\n",
+        cli.seed,
+        headline.n,
+        headline.drift_fraction,
+        headline.incr_merged,
+        headline.full_merged,
+        headline.incr_micros,
+        headline.full_micros,
+        body
+    );
+    fs::write("BENCH_reconcile.json", &json).expect("write BENCH_reconcile.json");
+    eprintln!("wrote BENCH_reconcile.json");
 }

@@ -19,6 +19,10 @@ pub struct Cli {
     /// Message plane on (`--latency`): protocol traffic rides
     /// virtual-time delivery events instead of applying instantly.
     pub latency: bool,
+    /// Reconciliation cost mode (`--reconcile`, `multidomain_churn`
+    /// only): run the full-vs-incremental GS maintenance sweep and emit
+    /// `BENCH_reconcile.json` instead of the churn table.
+    pub reconcile: bool,
 }
 
 impl Cli {
@@ -28,6 +32,7 @@ impl Cli {
             seed: 42,
             quick: false,
             latency: false,
+            reconcile: false,
         };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
@@ -42,6 +47,7 @@ impl Cli {
                 }
                 "--quick" => cli.quick = true,
                 "--latency" => cli.latency = true,
+                "--reconcile" => cli.reconcile = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag `{other}`")),
             }
@@ -73,7 +79,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <fig binary> [--seed N] [--quick] [--latency]");
+    eprintln!("usage: <fig binary> [--seed N] [--quick] [--latency] [--reconcile]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -166,6 +172,7 @@ mod tests {
             seed: 42,
             quick: false,
             latency: false,
+            reconcile: false,
         };
         assert_eq!(cli.domain_sizes().first(), Some(&16));
         assert_eq!(cli.domain_sizes().last(), Some(&5000));
@@ -173,6 +180,7 @@ mod tests {
             seed: 42,
             quick: true,
             latency: false,
+            reconcile: false,
         };
         assert!(quick.domain_sizes().len() < cli.domain_sizes().len());
     }

@@ -13,7 +13,14 @@
 //!   departures that dissolve a domain mid-run and re-home its partners
 //!   (§4.3, [`crate::construction::handle_sp_departure`]);
 //! * **reconciliation** — per-domain α-gated token rings
-//!   ([`DomainCore::maybe_reconcile`]);
+//!   ([`DomainCore::maybe_reconcile`]). Rings are *incremental*: the
+//!   token only visits the stale subset of the cooperation list
+//!   ([`RingConversation::stale_route`]); fresh members' contributions
+//!   stay in the domain's [`saintetiq::delta::GsAccumulator`] untouched
+//!   and departed members are expired in O(1), so per-round merge work
+//!   scales with how much actually changed, not with membership (see
+//!   the [`crate::peerstate`] module docs for the full design and the
+//!   byte-identical full-rebuild oracle);
 //! * **queries** — intra-domain workload samples
 //!   ([`KernelEvent::LocalQuery`]) and, in networked mode, inter-domain
 //!   lookups ([`KernelEvent::InterQuery`]) routed against the *live*
@@ -234,6 +241,11 @@ pub struct SimKernel {
     in_flight: u64,
     /// High-water mark of `in_flight`.
     peak_in_flight: u64,
+    /// Domain-state errors swallowed by the event loop (impossible for
+    /// well-formed configurations; counted instead of panicking).
+    domain_errors: u64,
+    /// The first such error, kept for diagnostics.
+    first_error: Option<P2pError>,
 }
 
 /// The medical workload every kernel mode shares: the CBK plus the
@@ -290,7 +302,7 @@ impl SimKernel {
 
         let mut ledger = MessageLedger::new();
         let mut domain = DomainCore::new(None, (0..cfg.n_peers as u32).map(NodeId).collect());
-        domain.enroll_all(&mut peers, &mut ledger);
+        domain.enroll_all(&mut peers, &mut ledger)?;
 
         let mut this = Self {
             cfg,
@@ -317,6 +329,8 @@ impl SimKernel {
             lookups: BTreeMap::new(),
             in_flight: 0,
             peak_in_flight: 0,
+            domain_errors: 0,
+            first_error: None,
         };
         this.schedule_drift_all();
         this.schedule_churn();
@@ -379,7 +393,7 @@ impl SimKernel {
             }
             sp_index.insert(sp, domains.len());
             let mut core = DomainCore::new(Some(sp), members);
-            core.enroll_all(&mut peers, &mut ledger);
+            core.enroll_all(&mut peers, &mut ledger)?;
             domains.push(core);
         }
 
@@ -430,6 +444,8 @@ impl SimKernel {
             lookups: BTreeMap::new(),
             in_flight: 0,
             peak_in_flight: 0,
+            domain_errors: 0,
+            first_error: None,
         };
 
         if dynamics.is_some() {
@@ -525,13 +541,13 @@ impl SimKernel {
                     if let Some(d) = self.domain_of[idx] {
                         if self.lat.is_some() {
                             self.send_push(p, d, 1);
-                        } else {
-                            self.domains[d].on_drift(
-                                p,
-                                self.cfg.alpha,
-                                &mut self.peers,
-                                &mut self.ledger,
-                            );
+                        } else if let Err(e) = self.domains[d].on_drift(
+                            p,
+                            self.cfg.alpha,
+                            &mut self.peers,
+                            &mut self.ledger,
+                        ) {
+                            self.note_error(e);
                         }
                     }
                     let dt = self.cfg.lifetime.sample(self.sim.rng());
@@ -555,12 +571,14 @@ impl SimKernel {
                     }
                     if self.lat.is_none() {
                         if let Some(d) = self.domain_of[idx] {
-                            self.domains[d].on_leave(
+                            if let Err(e) = self.domains[d].on_leave(
                                 p,
                                 self.cfg.alpha,
                                 &mut self.peers,
                                 &mut self.ledger,
-                            );
+                            ) {
+                                self.note_error(e);
+                            }
                         }
                     }
                 }
@@ -585,13 +603,13 @@ impl SimKernel {
                     if let Some(d) = self.domain_of[idx] {
                         if self.lat.is_some() {
                             self.send_localsum(p, d, SimTime::ZERO);
-                        } else {
-                            self.domains[d].on_join(
-                                p,
-                                self.cfg.alpha,
-                                &mut self.peers,
-                                &mut self.ledger,
-                            );
+                        } else if let Err(e) = self.domains[d].on_join(
+                            p,
+                            self.cfg.alpha,
+                            &mut self.peers,
+                            &mut self.ledger,
+                        ) {
+                            self.note_error(e);
                         }
                     } else if self.cfg.sp_lifetime.is_some() {
                         // An orphan of a dissolved domain walks to a
@@ -607,11 +625,13 @@ impl SimKernel {
                                     .unwrap_or(0);
                                 self.ledger.count(&Message::LocalSum { bytes }, 1);
                                 self.domains[d].apply_localsum(p);
-                                self.domains[d].maybe_reconcile(
+                                if let Err(e) = self.domains[d].maybe_reconcile(
                                     self.cfg.alpha,
                                     &mut self.peers,
                                     &mut self.ledger,
-                                );
+                                ) {
+                                    self.note_error(e);
+                                }
                             }
                         }
                     }
@@ -821,6 +841,9 @@ impl SimKernel {
     // ------------------------------------------------------------------
 
     /// Starts a ring conversation when α crossed and none is running.
+    /// The route covers only the *stale* live members (§4.2.2's pull
+    /// needs nothing from fresh ones — their contributions already sit
+    /// in the SP's accumulator).
     fn maybe_start_ring(&mut self, d: usize) {
         let Some(lat) = self.lat else { return };
         if self.domains[d].dissolved
@@ -829,15 +852,17 @@ impl SimKernel {
         {
             return;
         }
-        let route: Vec<NodeId> = self.domains[d]
-            .members
-            .iter()
-            .copied()
-            .filter(|m| self.peers[m.index()].as_ref().is_some_and(|s| s.up))
-            .collect();
+        let route = RingConversation::stale_route(&self.domains[d].cl, |m| {
+            self.peers[m.index()].as_ref().is_some_and(|s| s.up)
+        });
         if route.is_empty() {
-            // Nobody to pull from: store an empty NewGS at once.
-            self.domains[d].reconcile_from_snapshots(&[], &mut self.peers);
+            // Every stale entry is a departed member: nothing to pull,
+            // just expire them and store the rebuilt view at once.
+            if let Err(e) =
+                self.domains[d].reconcile_from_snapshots(&[], &mut self.peers, &mut self.ledger)
+            {
+                self.note_error(e);
+            }
             return;
         }
         let conv = self.next_conv;
@@ -918,7 +943,13 @@ impl SimKernel {
             self.ring_of_domain[d] = None;
         }
         if !self.domains[d].dissolved {
-            self.domains[d].reconcile_from_snapshots(&gathered, &mut self.peers);
+            if let Err(e) = self.domains[d].reconcile_from_snapshots(
+                &gathered,
+                &mut self.peers,
+                &mut self.ledger,
+            ) {
+                self.note_error(e);
+            }
             // Members the token missed kept their stale flags, so α may
             // re-arm a follow-up ring immediately.
             self.maybe_start_ring(d);
@@ -1252,11 +1283,13 @@ impl SimKernel {
                             .unwrap_or(0);
                         self.ledger.count(&Message::LocalSum { bytes }, 1);
                         self.domains[nd].apply_localsum(m);
-                        self.domains[nd].maybe_reconcile(
+                        if let Err(e) = self.domains[nd].maybe_reconcile(
                             self.cfg.alpha,
                             &mut self.peers,
                             &mut self.ledger,
-                        );
+                        ) {
+                            self.note_error(e);
+                        }
                     }
                 }
                 None => {
@@ -1313,6 +1346,9 @@ impl SimKernel {
     pub fn run_to_horizon(&mut self) {
         while let Some((_, ev)) = self.sim.next_event() {
             self.handle(ev);
+        }
+        if let (n, Some(e)) = self.error_status() {
+            eprintln!("warning: {n} domain-state error(s) swallowed during the run; first: {e}");
         }
     }
 
@@ -1542,6 +1578,10 @@ impl SimKernel {
         );
         report.approx_weight_live = approx_live;
         report.approx_weight_with_departed = approx_with_departed;
+        let work = self.ledger.reconcile_work();
+        report.reconcile_merged_members = work.merged;
+        report.reconcile_skipped_members = work.skipped;
+        report.reconcile_delta_bytes = work.delta_bytes;
         report
     }
 
@@ -1570,11 +1610,15 @@ impl SimKernel {
         for peer in self.peers.iter().flatten() {
             if !peer.up && peer.merged_bits == 0 {
                 // Down and absent from the GS: its last summary is the
-                // description alternative 1 would have retained.
-                let tree =
-                    wire::decode(&peer.data.summary).expect("locally encoded summaries decode");
-                saintetiq::merge::merge_into(&mut with_departed, &tree, &ecfg)
-                    .expect("same CBK everywhere");
+                // description alternative 1 would have retained. A
+                // summary that fails to decode (impossible for locally
+                // encoded data) simply contributes nothing.
+                let Ok(tree) = wire::decode(&peer.data.summary) else {
+                    continue;
+                };
+                if saintetiq::merge::merge_into(&mut with_departed, &tree, &ecfg).is_err() {
+                    continue;
+                }
             }
         }
         (live, weight_of(&with_departed))
@@ -1610,9 +1654,34 @@ impl SimKernel {
     /// SP-initiated maintenance scenarios).
     pub fn reconcile_all(&mut self) {
         for d in 0..self.domains.len() {
-            let (domains, peers, ledger) = (&mut self.domains, &mut self.peers, &mut self.ledger);
-            domains[d].reconcile(peers, ledger);
+            let result = {
+                let (domains, peers, ledger) =
+                    (&mut self.domains, &mut self.peers, &mut self.ledger);
+                domains[d].reconcile(peers, ledger)
+            };
+            if let Err(e) = result {
+                self.note_error(e);
+            }
         }
+    }
+
+    /// Records a domain-state error the event loop swallowed. These are
+    /// impossible for configurations that built successfully; counting
+    /// them (instead of panicking mid-run) keeps release simulations
+    /// total, while debug builds — the tests and CI — still fail loudly
+    /// so a corrupted domain can never silently feed the reports.
+    fn note_error(&mut self, e: P2pError) {
+        debug_assert!(false, "domain-state error swallowed mid-run: {e}");
+        self.domain_errors += 1;
+        if self.first_error.is_none() {
+            self.first_error = Some(e);
+        }
+    }
+
+    /// Number of domain-state errors swallowed so far, and the first
+    /// one — `(0, None)` on every healthy run.
+    pub fn error_status(&self) -> (u64, Option<&P2pError>) {
+        (self.domain_errors, self.first_error.as_ref())
     }
 
     /// Mean stale fraction across domains' cooperation lists.
@@ -1746,6 +1815,7 @@ mod tests {
     fn single_domain_kernel_matches_domain_sim_shape() {
         let mut k = SimKernel::single_domain(cfg(24, 1)).unwrap();
         k.run_to_horizon();
+        assert_eq!(k.error_status(), (0, None), "healthy run swallows nothing");
         let report = k.single_report();
         assert_eq!(report.queries, 30);
         assert!(report.total_messages() > 0);
@@ -1829,6 +1899,7 @@ mod tests {
         c.delivery = DeliveryMode::Latency(LatencyConfig::wan_default());
         let mut k = SimKernel::networked(c, 20, Some(LookupTarget::Total)).unwrap();
         k.run_to_horizon();
+        assert_eq!(k.error_status(), (0, None), "healthy run swallows nothing");
         assert!(!k.inter_outcomes.is_empty(), "lookups completed");
         for (_, out) in &k.inter_outcomes {
             assert!(

@@ -57,6 +57,15 @@ pub struct DomainReport {
     pub gs_cells: usize,
     /// Live nodes in the final GS hierarchy.
     pub gs_nodes: usize,
+    /// Member summaries decoded + folded by reconciliation rounds —
+    /// with the incremental accumulator this scales with the stale
+    /// subsets, not with membership × rounds.
+    pub reconcile_merged_members: u64,
+    /// Live members reconciliation rounds skipped (fresh contribution
+    /// reused from the accumulator).
+    pub reconcile_skipped_members: u64,
+    /// Encoded bytes of the summaries reconciliation actually pulled.
+    pub reconcile_delta_bytes: u64,
     /// Final approximate-answer weight per template from the live GS
     /// (§4.3's alternative 2, the paper's choice).
     pub approx_weight_live: Vec<f64>,
@@ -120,6 +129,9 @@ impl DomainReport {
             gs_bytes,
             gs_cells,
             gs_nodes,
+            reconcile_merged_members: 0,
+            reconcile_skipped_members: 0,
+            reconcile_delta_bytes: 0,
             approx_weight_live: Vec::new(),
             approx_weight_with_departed: Vec::new(),
         }
@@ -236,6 +248,14 @@ pub struct MultiDomainReport {
     pub reconciliation_messages: u64,
     /// Construction messages (initial localsums + rejoins).
     pub construction_messages: u64,
+    /// Member summaries decoded + folded by reconciliation rounds
+    /// across all domains (scales with the stale subsets under
+    /// incremental GS maintenance).
+    pub reconcile_merged_members: u64,
+    /// Live members reconciliation rounds skipped network-wide.
+    pub reconcile_skipped_members: u64,
+    /// Encoded bytes of the summaries reconciliation actually pulled.
+    pub reconcile_delta_bytes: u64,
     /// Cache hits observed during inter-domain flooding.
     pub cache_hits: u64,
     /// Mean virtual seconds between posing a lookup and completing it.
@@ -286,6 +306,9 @@ impl MultiDomainReport {
             push_messages: ledger.sent(MessageClass::Push),
             reconciliation_messages: ledger.sent(MessageClass::Reconciliation),
             construction_messages: ledger.sent(MessageClass::Construction),
+            reconcile_merged_members: ledger.reconcile_work().merged,
+            reconcile_skipped_members: ledger.reconcile_work().skipped,
+            reconcile_delta_bytes: ledger.reconcile_work().delta_bytes,
             cache_hits,
             mean_time_to_answer_s: mean(&|o| o.time_to_answer_s),
             peak_in_flight,

@@ -5,24 +5,64 @@
 //! * [`PeerState`] — one partner peer: liveness, generated database
 //!   artifacts, and the bookkeeping the maintenance protocols need;
 //! * [`MessageLedger`] — message/byte accounting per [`MessageClass`],
-//!   the paper's §6.1 cost unit;
+//!   the paper's §6.1 cost unit, plus the reconciliation merge-work
+//!   counters ([`ReconcileWork`]);
 //! * [`DomainCore`] — one domain's summary peer state: the global
 //!   summary (GS), the cooperation list (CL) and the push/pull protocol
 //!   transitions. [`crate::domain::DomainSim`] drives exactly one
 //!   `DomainCore`; the unified kernel ([`crate::kernel`]) drives many,
 //!   interleaved in a single virtual clock.
+//!
+//! ## Incremental GS maintenance
+//!
+//! The GS is **not** rebuilt from every member on every pull. Each
+//! domain owns a [`saintetiq::delta::GsAccumulator`] holding one entry
+//! per contributing member — the flattened leaves of the summary that
+//! member last shipped. A reconciliation round (§4.2.2's pull) then
+//! only
+//!
+//! 1. pulls the *stale subset*: CL entries flagged `NeedsRefresh` /
+//!    `Unavailable` that are still live are decoded and re-folded via
+//!    `update_source` (O(|stale|) decode + merge work — the paper's
+//!    §6.1 cost unit now scales with what changed);
+//! 2. expires departed members via `remove_source` (O(1) each);
+//! 3. stores the canonical merged view ([`GsAccumulator::build_merged`]).
+//!    This store is Θ(|GS|) — and the GS's per-source cell entries make
+//!    |GS| itself linear in total contributions — but that lower bound
+//!    is inherent to materializing `NewGS` at all (the §4.2.2 token's
+//!    final hop carries the same payload); the expensive per-member
+//!    decode + Cobweb re-merge is what the accumulator eliminates
+//!    (≈3× per round at 1% drift in `BENCH_reconcile.json`).
+//!
+//! Fresh live members are *skipped*: their stored contribution is, by
+//! the push-protocol invariant, identical to their current local
+//! summary (drift always flags before the next pull can run). The
+//! retained escape hatch [`DomainCore::full_rebuild_oracle`] rebuilds
+//! from scratch over every live member; because the accumulator's
+//! merged view is canonical in the contribution set, the oracle and the
+//! incrementally maintained GS agree **byte-for-byte** — asserted by
+//! the `gs_incremental` property tests and the debug paths.
+//!
+//! A second behavioral refinement rides along: a *partial* pull (a
+//! latency-mode ring whose token was dropped mid-ring) now keeps the
+//! still-live members the token missed in the GS with their previous
+//! descriptions, instead of dropping them until a follow-up ring — the
+//! paper's descriptions persist until refreshed or expired (§4.3),
+//! only departed members' data is removed.
 
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use p2psim::network::{MessageClass, NodeId};
 use p2psim::time::SimTime;
-use saintetiq::engine::EngineConfig;
+use saintetiq::cell::SourceId;
+use saintetiq::delta::GsAccumulator;
 use saintetiq::hierarchy::SummaryTree;
 use saintetiq::query::proposition::Proposition;
 use saintetiq::wire;
 
 use crate::coop::CooperationList;
+use crate::error::P2pError;
 use crate::freshness::Freshness;
 use crate::messages::Message;
 use crate::routing::{route_query_scoped, QueryOutcome, RoutingPolicy};
@@ -37,6 +77,11 @@ pub const CBK_SHAPE: [usize; 4] = [3, 3, 3, 12];
 /// An empty GS over the medical CBK.
 pub fn empty_gs() -> SummaryTree {
     SummaryTree::new(CBK_NAME, CBK_SHAPE.to_vec())
+}
+
+/// An empty accumulator over the medical CBK.
+pub fn empty_accumulator() -> GsAccumulator {
+    GsAccumulator::new(CBK_NAME, CBK_SHAPE.to_vec())
 }
 
 /// One partner peer's simulation state.
@@ -66,14 +111,47 @@ impl PeerState {
     }
 }
 
+/// Merge work done by GS maintenance rounds: how many member summaries
+/// were actually decoded and folded (`merged`), how many live members
+/// were skipped because their stored contribution was still fresh
+/// (`skipped`), how many departed contributions were expired
+/// (`removed`), and the delta payload bytes pulled (`delta_bytes`).
+///
+/// `merged` scaling with the stale subset — not total membership — is
+/// the entire point of the incremental accumulator; `BENCH_reconcile`
+/// tracks it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconcileWork {
+    /// Member summaries decoded and folded into the accumulator.
+    pub merged: u64,
+    /// Live members skipped (contribution reused unchanged).
+    pub skipped: u64,
+    /// Departed contributions expired from the accumulator.
+    pub removed: u64,
+    /// Encoded bytes of the summaries actually pulled.
+    pub delta_bytes: u64,
+}
+
+impl ReconcileWork {
+    /// Folds another round's work into this tally.
+    pub fn absorb(&mut self, other: ReconcileWork) {
+        self.merged += other.merged;
+        self.skipped += other.skipped;
+        self.removed += other.removed;
+        self.delta_bytes += other.delta_bytes;
+    }
+}
+
 /// Message and wire-byte accounting per class, plus — in latency mode —
 /// per-class delivery-latency distributions (count + total virtual time
-/// between send and delivery).
+/// between send and delivery), plus the reconciliation merge-work
+/// counters.
 #[derive(Debug, Clone, Default)]
 pub struct MessageLedger {
     counters: BTreeMap<MessageClass, u64>,
     byte_counters: BTreeMap<MessageClass, u64>,
     latency_counters: BTreeMap<MessageClass, (u64, u64)>,
+    reconcile_work: ReconcileWork,
 }
 
 impl MessageLedger {
@@ -126,6 +204,16 @@ impl MessageLedger {
             _ => 0.0,
         }
     }
+
+    /// Folds one reconciliation round's merge work into the tally.
+    pub fn count_reconcile_work(&mut self, work: ReconcileWork) {
+        self.reconcile_work.absorb(work);
+    }
+
+    /// Accumulated reconciliation merge work over the run.
+    pub fn reconcile_work(&self) -> ReconcileWork {
+        self.reconcile_work
+    }
 }
 
 /// One member's summary snapshot as carried by a latency-mode
@@ -143,6 +231,22 @@ pub struct SummarySnapshot {
     pub match_bits: u32,
 }
 
+/// Immutable peer lookup that maps a missing slot to [`P2pError`].
+fn peer_ref(peers: &[Option<PeerState>], m: NodeId) -> Result<&PeerState, P2pError> {
+    peers
+        .get(m.index())
+        .and_then(|s| s.as_ref())
+        .ok_or(P2pError::UnknownPeer(m.0))
+}
+
+/// True when the peer exists and is connected.
+fn peer_up(peers: &[Option<PeerState>], m: NodeId) -> bool {
+    peers
+        .get(m.index())
+        .and_then(|s| s.as_ref())
+        .is_some_and(|p| p.up)
+}
+
 /// One domain's summary-peer state: members, GS, CL and the §4.2–§4.3
 /// protocol transitions.
 #[derive(Debug, Clone)]
@@ -154,8 +258,12 @@ pub struct DomainCore {
     pub members: Vec<NodeId>,
     /// The cooperation list.
     pub cl: CooperationList,
-    /// The global summary.
+    /// The cached merged view of [`DomainCore::acc`] — rebuilt
+    /// canonically after every pull, always what queries route against.
     pub gs: SummaryTree,
+    /// The per-member accumulator behind the GS: one entry per
+    /// contributing member, updated/removed incrementally.
+    pub acc: GsAccumulator,
     /// Reconciliation rounds completed.
     pub reconciliations: u64,
     /// Encoded GS size after the last rebuild.
@@ -177,6 +285,7 @@ impl DomainCore {
             members,
             cl: CooperationList::new(),
             gs: empty_gs(),
+            acc: empty_accumulator(),
             reconciliations: 0,
             gs_bytes_last: 0,
             long_links: Vec::new(),
@@ -184,54 +293,92 @@ impl DomainCore {
         }
     }
 
-    /// Tears the domain down after its SP departed: members, CL, GS and
-    /// long links are cleared; the slot stays in place so domain indices
-    /// held by in-flight conversations remain valid (their deliveries
-    /// no-op against a dissolved domain).
+    /// Tears the domain down after its SP departed: members, CL, GS,
+    /// accumulator and long links are cleared; the slot stays in place
+    /// so domain indices held by in-flight conversations remain valid
+    /// (their deliveries no-op against a dissolved domain).
     pub fn dissolve(&mut self) {
         self.dissolved = true;
         self.members.clear();
         self.cl = CooperationList::new();
+        self.acc.clear();
         self.gs = empty_gs();
         self.gs_bytes_last = 0;
         self.long_links.clear();
     }
 
-    /// Initial construction (§4.1): every member ships its `localsum`,
-    /// enters the CL fresh, and the GS is built from scratch.
-    pub fn enroll_all(&mut self, peers: &mut [Option<PeerState>], ledger: &mut MessageLedger) {
-        for i in 0..self.members.len() {
-            let m = self.members[i];
-            let bytes = peers[m.index()]
-                .as_ref()
-                .expect("member has state")
-                .data
-                .summary
-                .len();
-            ledger.count(&Message::LocalSum { bytes }, 1);
-            self.cl.add_partner(m, Freshness::Fresh);
-        }
-        self.rebuild_gs(peers);
+    /// Stores the accumulator's canonical merged view as the GS.
+    fn store_merged(&mut self) {
+        self.gs = self.acc.build_merged();
+        self.gs_bytes_last = wire::encoded_size(&self.gs);
     }
 
-    /// Rebuilds the GS from every live member's current local summary —
-    /// the effect of one full reconciliation round.
-    pub fn rebuild_gs(&mut self, peers: &mut [Option<PeerState>]) {
-        let mut gs = empty_gs();
-        let ecfg = EngineConfig::default();
-        for &m in &self.members {
-            let peer = peers[m.index()].as_mut().expect("member has state");
-            if peer.up {
-                let tree =
-                    wire::decode(&peer.data.summary).expect("locally encoded summaries decode");
-                saintetiq::merge::merge_into(&mut gs, &tree, &ecfg).expect("same CBK everywhere");
-                peer.merged_bits = peer.data.match_bits;
-            } else {
-                peer.merged_bits = 0;
+    /// Decodes `m`'s current local summary into the accumulator and
+    /// refreshes its merged bits. Returns the pulled payload size.
+    fn pull_member(
+        &mut self,
+        m: NodeId,
+        peers: &mut [Option<PeerState>],
+    ) -> Result<usize, P2pError> {
+        let st = peers
+            .get_mut(m.index())
+            .and_then(|s| s.as_mut())
+            .ok_or(P2pError::UnknownPeer(m.0))?;
+        let bytes = self
+            .acc
+            .update_source_encoded(SourceId(m.0), &st.data.summary)?;
+        st.merged_bits = st.data.match_bits;
+        Ok(bytes)
+    }
+
+    /// Expires `m`'s contribution (departed member). Returns whether it
+    /// was contributing.
+    fn expire_member(&mut self, m: NodeId, peers: &mut [Option<PeerState>]) -> bool {
+        if let Some(st) = peers.get_mut(m.index()).and_then(|s| s.as_mut()) {
+            st.merged_bits = 0;
+        }
+        self.acc.remove_source(SourceId(m.0))
+    }
+
+    /// Initial construction (§4.1): every member ships its `localsum`,
+    /// enters the CL fresh, and every live member's summary is pulled
+    /// into the accumulator.
+    pub fn enroll_all(
+        &mut self,
+        peers: &mut [Option<PeerState>],
+        ledger: &mut MessageLedger,
+    ) -> Result<(), P2pError> {
+        for i in 0..self.members.len() {
+            let m = self.members[i];
+            let bytes = peer_ref(peers, m)?.data.summary.len();
+            ledger.count(&Message::LocalSum { bytes }, 1);
+            self.cl.add_partner(m, Freshness::Fresh);
+            if peer_up(peers, m) {
+                self.pull_member(m, peers)?;
             }
         }
-        self.gs_bytes_last = wire::encoded_size(&gs);
-        self.gs = gs;
+        self.store_merged();
+        Ok(())
+    }
+
+    /// Debug / verification oracle: the GS rebuilt from scratch over
+    /// every live member's *current* local summary — what a full §4.2.2
+    /// pull over the whole membership would store. The incremental path
+    /// must agree with this byte-for-byte after every completed round
+    /// (asserted by the `gs_incremental` property tests).
+    pub fn full_rebuild_oracle(
+        &self,
+        peers: &[Option<PeerState>],
+    ) -> Result<SummaryTree, P2pError> {
+        let mut acc = empty_accumulator();
+        for &m in &self.members {
+            if let Some(st) = peers.get(m.index()).and_then(|s| s.as_ref()) {
+                if st.up {
+                    acc.update_source_encoded(SourceId(m.0), &st.data.summary)?;
+                }
+            }
+        }
+        Ok(acc.build_merged())
     }
 
     /// §4.2.2's pull phase, fired when the CL crosses α. Returns true
@@ -241,35 +388,78 @@ impl DomainCore {
         alpha: f64,
         peers: &mut [Option<PeerState>],
         ledger: &mut MessageLedger,
-    ) -> bool {
+    ) -> Result<bool, P2pError> {
         if !self.cl.needs_reconciliation(alpha) {
-            return false;
+            return Ok(false);
         }
-        self.reconcile(peers, ledger);
-        true
+        self.reconcile(peers, ledger)?;
+        Ok(true)
     }
 
     /// Runs one reconciliation round unconditionally: the token ring
-    /// costs one message per live member plus the final store hop, the
-    /// GS is rebuilt, and the CL resets to the live membership.
-    pub fn reconcile(&mut self, peers: &mut [Option<PeerState>], ledger: &mut MessageLedger) {
-        let live = self
-            .members
-            .iter()
-            .filter(|m| peers[m.index()].as_ref().is_some_and(|p| p.up))
-            .count() as u64;
-        self.rebuild_gs(peers);
-        // The token grows along the ring; counting every hop at the
-        // final GS size is a documented upper bound on token bytes.
-        ledger.count(
-            &Message::ReconciliationToken {
-                bytes: self.gs_bytes_last,
-            },
-            live + 1,
-        );
-        self.cl
-            .reconcile(|p| peers[p.index()].as_ref().is_some_and(|s| s.up));
+    /// visits only the *stale* live members (plus the final store hop),
+    /// each visited member's summary replaces its accumulator entry,
+    /// departed members' contributions are expired, and the CL resets
+    /// to the live membership.
+    ///
+    /// Token bytes are charged per hop at the token's *cumulative* size
+    /// — `NewGS` grows as it collects the stale members' summaries, so
+    /// early hops are cheap and the final store hop carries everything,
+    /// matching [`crate::routing::RingConversation::token_bytes`] on
+    /// the latency plane. A round that visits nobody (every stale entry
+    /// was a departed member) circulates no token at all — the SP just
+    /// expires them and stores locally, exactly like the latency
+    /// plane's empty-route case.
+    pub fn reconcile(
+        &mut self,
+        peers: &mut [Option<PeerState>],
+        ledger: &mut MessageLedger,
+    ) -> Result<ReconcileWork, P2pError> {
+        let mut work = ReconcileWork::default();
+        let mut token_bytes = 0usize;
+        let members = self.members.clone();
+        for m in members {
+            if !peer_up(peers, m) {
+                if self.expire_member(m, peers) {
+                    work.removed += 1;
+                }
+                continue;
+            }
+            // Live and fresh: the stored contribution is current (drift
+            // always flags before the next pull); skip the hop. Members
+            // missing from the CL (pre-enrollment state) are pulled.
+            let stale = self.cl.freshness(m).is_none_or(|f| f.as_stale_bit());
+            if !stale {
+                work.skipped += 1;
+                continue;
+            }
+            // The hop *to* this member carries the token gathered so far.
+            ledger.count(
+                &Message::ReconciliationToken {
+                    bytes: token_bytes.max(64),
+                },
+                1,
+            );
+            let pulled = self.pull_member(m, peers)?;
+            token_bytes += pulled;
+            work.merged += 1;
+            work.delta_bytes += pulled as u64;
+        }
+        // The final hop returns the gathered token to the SP — unless
+        // no member was visited, in which case no token ever left it.
+        if work.merged > 0 {
+            ledger.count(
+                &Message::ReconciliationToken {
+                    bytes: token_bytes.max(64),
+                },
+                1,
+            );
+        }
+        self.store_merged();
+        self.cl.reconcile(|p| peer_up(peers, p));
+        ledger.count_reconcile_work(work);
         self.reconciliations += 1;
+        Ok(work)
     }
 
     /// A member's data drifted: its freshness flag is pushed (§4.2.1).
@@ -280,10 +470,11 @@ impl DomainCore {
         alpha: f64,
         peers: &mut [Option<PeerState>],
         ledger: &mut MessageLedger,
-    ) {
+    ) -> Result<(), P2pError> {
         ledger.count(&Message::Push { value: 1 }, 1);
         self.cl.set_freshness(peer, Freshness::NeedsRefresh);
-        self.maybe_reconcile(alpha, peers, ledger);
+        self.maybe_reconcile(alpha, peers, ledger)?;
+        Ok(())
     }
 
     /// A member leaves gracefully: §4.3's `v = 2` push.
@@ -293,10 +484,11 @@ impl DomainCore {
         alpha: f64,
         peers: &mut [Option<PeerState>],
         ledger: &mut MessageLedger,
-    ) {
+    ) -> Result<(), P2pError> {
         ledger.count(&Message::Push { value: 2 }, 1);
         self.cl.set_freshness(peer, Freshness::Unavailable);
-        self.maybe_reconcile(alpha, peers, ledger);
+        self.maybe_reconcile(alpha, peers, ledger)?;
+        Ok(())
     }
 
     /// Latency-mode arrival of a freshness push at the SP: the CL
@@ -326,56 +518,61 @@ impl DomainCore {
         true
     }
 
-    /// Latency-mode completion of a reconciliation ring: the SP stores
-    /// `NewGS` — the merge of exactly the snapshots the token gathered —
-    /// and resets the CL. Members the token *missed* (it was dropped at
-    /// a churned-out peer and the watchdog fired) keep their stale flags
-    /// if they are up, so α re-arms a follow-up ring; missed members
-    /// that are down are removed. Message accounting happened per hop at
-    /// send time, so nothing is counted here.
+    /// Latency-mode completion of a reconciliation ring: each gathered
+    /// snapshot replaces its member's accumulator entry, and the SP
+    /// stores the rebuilt merged view. Members the token *missed* (it
+    /// was dropped at a churned-out peer and the watchdog fired) keep
+    /// both their stale flags *and* their previous GS contributions if
+    /// they are up — α re-arms a follow-up ring while the old
+    /// descriptions keep serving queries; missed members that are down
+    /// are expired and removed. Token/message accounting happened per
+    /// hop at send time; only the merge work is tallied here.
     pub fn reconcile_from_snapshots(
         &mut self,
         gathered: &[SummarySnapshot],
         peers: &mut [Option<PeerState>],
-    ) {
-        let mut gs = empty_gs();
-        let ecfg = EngineConfig::default();
-        for snap in gathered {
-            let tree = wire::decode(&snap.summary).expect("locally encoded summaries decode");
-            saintetiq::merge::merge_into(&mut gs, &tree, &ecfg).expect("same CBK everywhere");
-        }
+        ledger: &mut MessageLedger,
+    ) -> Result<(), P2pError> {
+        let mut work = ReconcileWork::default();
         let visited: std::collections::BTreeSet<NodeId> = gathered.iter().map(|s| s.peer).collect();
-        for &m in &self.members {
-            if let Some(peer) = peers[m.index()].as_mut() {
-                peer.merged_bits = if visited.contains(&m) {
-                    gathered
-                        .iter()
-                        .find(|s| s.peer == m)
-                        .map(|s| s.match_bits)
-                        .unwrap_or(0)
-                } else {
-                    0
-                };
+        for snap in gathered {
+            self.acc
+                .update_source_encoded(SourceId(snap.peer.0), &snap.summary)?;
+            if let Some(st) = peers.get_mut(snap.peer.index()).and_then(|s| s.as_mut()) {
+                st.merged_bits = snap.match_bits;
+            }
+            work.merged += 1;
+            work.delta_bytes += snap.summary.len() as u64;
+        }
+        for m in self.members.clone() {
+            if visited.contains(&m) {
+                continue;
+            }
+            if peer_up(peers, m) {
+                work.skipped += 1;
+            } else if self.expire_member(m, peers) {
+                work.removed += 1;
             }
         }
-        self.gs_bytes_last = wire::encoded_size(&gs);
-        self.gs = gs;
-        let up = |p: NodeId| peers[p.index()].as_ref().is_some_and(|s| s.up);
+        self.store_merged();
         // Token-visited members reset to fresh; unvisited live members
         // keep their flags (partial pull); unvisited down members drop.
         let stale_survivors: Vec<(NodeId, Freshness)> = self
             .cl
             .partners()
-            .filter(|p| !visited.contains(p) && up(*p))
+            .filter(|p| !visited.contains(p) && peer_up(peers, *p))
             .map(|p| (p, self.cl.freshness(p).unwrap_or(Freshness::NeedsRefresh)))
             .collect();
-        self.cl.reconcile(|p| visited.contains(&p) || up(p));
+        self.cl
+            .reconcile(|p| visited.contains(&p) || peer_up(peers, p));
         for (p, f) in stale_survivors {
             self.cl.set_freshness(p, f);
         }
         let cl = &self.cl;
         self.members.retain(|&m| cl.contains(m));
+        ledger.count_reconcile_work(work);
         self.reconciliations += 1;
+        Ok(())
     }
 
     /// A member rejoins: ships its `localsum` and awaits the next pull
@@ -386,16 +583,12 @@ impl DomainCore {
         alpha: f64,
         peers: &mut [Option<PeerState>],
         ledger: &mut MessageLedger,
-    ) {
-        let bytes = peers[peer.index()]
-            .as_ref()
-            .expect("member has state")
-            .data
-            .summary
-            .len();
+    ) -> Result<(), P2pError> {
+        let bytes = peer_ref(peers, peer)?.data.summary.len();
         ledger.count(&Message::LocalSum { bytes }, 1);
         self.cl.add_partner(peer, Freshness::NeedsRefresh);
-        self.maybe_reconcile(alpha, peers, ledger);
+        self.maybe_reconcile(alpha, peers, ledger)?;
+        Ok(())
     }
 
     /// Routes one query against this domain's current GS/CL state and
@@ -456,14 +649,25 @@ mod tests {
         (core, peers)
     }
 
+    /// Regenerates peer `p`'s data (simulated drift) and flags it.
+    fn drift(core: &mut DomainCore, peers: &mut [Option<PeerState>], p: u32, seed: u64) {
+        let bk = BackgroundKnowledge::medical_cbk();
+        let templates = make_templates(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = generate_peer_data(&mut rng, p, &bk, &templates, 0.3, 10).expect("valid");
+        peers[p as usize].as_mut().unwrap().data = data;
+        core.cl.set_freshness(NodeId(p), Freshness::NeedsRefresh);
+    }
+
     #[test]
     fn enroll_builds_gs_and_cl() {
         let (mut core, mut peers) = domain_with_peers(12);
         let mut ledger = MessageLedger::new();
-        core.enroll_all(&mut peers, &mut ledger);
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
         assert_eq!(core.cl.len(), 12);
         assert_eq!(core.cl.stale_fraction(), 0.0);
         assert_eq!(core.gs.all_sources().len(), 12);
+        assert_eq!(core.acc.len(), 12);
         assert_eq!(
             ledger.sent(MessageClass::Construction),
             12,
@@ -476,10 +680,11 @@ mod tests {
     fn leave_then_reconcile_drops_member_from_gs() {
         let (mut core, mut peers) = domain_with_peers(10);
         let mut ledger = MessageLedger::new();
-        core.enroll_all(&mut peers, &mut ledger);
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
 
         peers[3].as_mut().unwrap().up = false;
-        core.on_leave(NodeId(3), 1.1, &mut peers, &mut ledger);
+        core.on_leave(NodeId(3), 1.1, &mut peers, &mut ledger)
+            .unwrap();
         assert_eq!(ledger.sent(MessageClass::Push), 1);
         assert_eq!(
             core.gs.all_sources().len(),
@@ -487,36 +692,110 @@ mod tests {
             "GS untouched before the pull"
         );
 
-        core.reconcile(&mut peers, &mut ledger);
+        let work = core.reconcile(&mut peers, &mut ledger).unwrap();
         assert_eq!(core.gs.all_sources().len(), 9, "departed peer expired");
         assert!(!core.cl.contains(NodeId(3)));
         assert_eq!(core.cl.stale_fraction(), 0.0);
         assert_eq!(core.reconciliations, 1);
-        // Ring cost: 9 live members + the final store hop.
-        assert_eq!(ledger.sent(MessageClass::Reconciliation), 10);
+        // Incremental ring: the 9 fresh live members are skipped and the
+        // departed member is expired locally — no token circulates.
+        assert_eq!(work.merged, 0);
+        assert_eq!(work.skipped, 9);
+        assert_eq!(work.removed, 1);
+        assert_eq!(ledger.sent(MessageClass::Reconciliation), 0);
     }
 
     #[test]
     fn alpha_threshold_gates_the_pull() {
         let (mut core, mut peers) = domain_with_peers(10);
         let mut ledger = MessageLedger::new();
-        core.enroll_all(&mut peers, &mut ledger);
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
         // 2 of 10 stale: below α = 0.3.
         for p in [0u32, 1] {
-            core.on_drift(NodeId(p), 0.3, &mut peers, &mut ledger);
+            core.on_drift(NodeId(p), 0.3, &mut peers, &mut ledger)
+                .unwrap();
         }
         assert_eq!(core.reconciliations, 0);
         // The third crosses 0.3.
-        core.on_drift(NodeId(2), 0.3, &mut peers, &mut ledger);
+        core.on_drift(NodeId(2), 0.3, &mut peers, &mut ledger)
+            .unwrap();
         assert_eq!(core.reconciliations, 1);
         assert_eq!(core.cl.stale_fraction(), 0.0, "reset after the pull");
+        // The ring visited exactly the 3 stale members.
+        let work = ledger.reconcile_work();
+        assert_eq!(work.merged, 3);
+        assert_eq!(work.skipped, 7);
+        assert_eq!(
+            ledger.sent(MessageClass::Reconciliation),
+            4,
+            "3 hops + store"
+        );
+    }
+
+    #[test]
+    fn incremental_reconcile_matches_full_oracle() {
+        let (mut core, mut peers) = domain_with_peers(12);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
+        // Drift three members, crash one, leave one.
+        for (p, seed) in [(2u32, 101u64), (5, 102), (9, 103)] {
+            drift(&mut core, &mut peers, p, seed);
+        }
+        peers[7].as_mut().unwrap().up = false; // silent failure
+        peers[4].as_mut().unwrap().up = false;
+        core.cl.set_freshness(NodeId(4), Freshness::Unavailable);
+
+        let work = core.reconcile(&mut peers, &mut ledger).unwrap();
+        assert_eq!(work.merged, 3, "only the stale live members were pulled");
+        assert_eq!(work.removed, 2, "crash + leave expired");
+        assert_eq!(work.skipped, 7);
+        let oracle = core.full_rebuild_oracle(&peers).unwrap();
+        assert_eq!(
+            wire::encode(&core.gs),
+            wire::encode(&oracle),
+            "incremental GS must be byte-identical to the from-scratch rebuild"
+        );
+    }
+
+    #[test]
+    fn token_bytes_grow_cumulatively_along_the_ring() {
+        let (mut core, mut peers) = domain_with_peers(8);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
+        for p in 0..8 {
+            drift(&mut core, &mut peers, p, 200 + p as u64);
+        }
+        let before = ledger
+            .byte_counters()
+            .get(&MessageClass::Reconciliation)
+            .copied();
+        assert_eq!(before, None);
+        let work = core.reconcile(&mut peers, &mut ledger).unwrap();
+        assert_eq!(work.merged, 8);
+        let token_bytes = ledger
+            .byte_counters()
+            .get(&MessageClass::Reconciliation)
+            .copied()
+            .unwrap();
+        let hops = ledger.sent(MessageClass::Reconciliation);
+        assert_eq!(hops, 9, "8 member hops + the store hop");
+        // Cumulative growth: total hop bytes are strictly below charging
+        // every hop at the final token size (the old upper bound), but at
+        // least the final token once plus headers for the other hops.
+        let final_token = work.delta_bytes as usize;
+        let upper_bound = hops as usize * (40 + final_token);
+        assert!(
+            (token_bytes as usize) < upper_bound,
+            "cumulative {token_bytes} must undercut the flat bound {upper_bound}"
+        );
+        assert!(token_bytes as usize >= final_token + hops as usize * 40);
     }
 
     #[test]
     fn partial_snapshot_reconciliation_keeps_missed_live_members() {
         let (mut core, mut peers) = domain_with_peers(6);
         let mut ledger = MessageLedger::new();
-        core.enroll_all(&mut peers, &mut ledger);
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
         for p in 0..6 {
             core.cl.set_freshness(NodeId(p), Freshness::NeedsRefresh);
         }
@@ -532,11 +811,13 @@ mod tests {
                 }
             })
             .collect();
-        core.reconcile_from_snapshots(&gathered, &mut peers);
+        core.reconcile_from_snapshots(&gathered, &mut peers, &mut ledger)
+            .unwrap();
         assert_eq!(
             core.gs.all_sources().len(),
-            3,
-            "GS holds exactly the gathered snapshots"
+            5,
+            "gathered snapshots refreshed, missed live members retained, \
+             down member expired"
         );
         assert_eq!(core.cl.freshness(NodeId(0)), Some(Freshness::Fresh));
         assert_eq!(
@@ -544,21 +825,29 @@ mod tests {
             Some(Freshness::NeedsRefresh),
             "missed live member keeps its stale flag so α re-arms"
         );
+        assert!(
+            core.acc.contains(saintetiq::cell::SourceId(3)),
+            "missed live member keeps its previous description"
+        );
         assert!(!core.cl.contains(NodeId(4)), "missed down member dropped");
+        assert!(!core.acc.contains(saintetiq::cell::SourceId(4)));
         assert!(core.members.contains(&NodeId(3)));
         assert!(!core.members.contains(&NodeId(4)));
         assert_eq!(core.reconciliations, 1);
+        let work = ledger.reconcile_work();
+        assert_eq!((work.merged, work.skipped, work.removed), (3, 2, 1));
     }
 
     #[test]
     fn dissolve_clears_domain_state() {
         let (mut core, mut peers) = domain_with_peers(5);
         let mut ledger = MessageLedger::new();
-        core.enroll_all(&mut peers, &mut ledger);
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
         core.dissolve();
         assert!(core.dissolved);
         assert!(core.members.is_empty());
         assert!(core.cl.is_empty());
+        assert!(core.acc.is_empty());
         assert_eq!(core.gs.all_sources().len(), 0);
         assert!(!core.apply_push(NodeId(1), Freshness::NeedsRefresh));
         assert!(!core.apply_localsum(NodeId(1)));
@@ -568,11 +857,23 @@ mod tests {
     fn localsum_arrival_admits_rehomed_strangers() {
         let (mut core, mut peers) = domain_with_peers(4);
         let mut ledger = MessageLedger::new();
-        core.enroll_all(&mut peers, &mut ledger);
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
         // A re-homed peer from a dissolved domain carries a foreign id.
         assert!(core.apply_localsum(NodeId(99)));
         assert!(core.members.contains(&NodeId(99)));
         assert_eq!(core.cl.freshness(NodeId(99)), Some(Freshness::NeedsRefresh));
+    }
+
+    #[test]
+    fn missing_peer_state_is_an_error_not_a_panic() {
+        let (mut core, mut peers) = domain_with_peers(4);
+        let mut ledger = MessageLedger::new();
+        core.members.push(NodeId(40)); // no backing slot
+        let err = core.enroll_all(&mut peers, &mut ledger);
+        assert_eq!(err, Err(P2pError::UnknownPeer(40)));
+        // on_join against an unknown peer errors cleanly too.
+        let err = core.on_join(NodeId(77), 1.1, &mut peers, &mut ledger);
+        assert_eq!(err, Err(P2pError::UnknownPeer(77)));
     }
 
     #[test]
@@ -594,22 +895,24 @@ mod tests {
     fn rejoin_enters_cl_stale_until_pull() {
         let (mut core, mut peers) = domain_with_peers(8);
         let mut ledger = MessageLedger::new();
-        core.enroll_all(&mut peers, &mut ledger);
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
 
         peers[5].as_mut().unwrap().up = false;
-        core.on_leave(NodeId(5), 1.1, &mut peers, &mut ledger);
-        core.reconcile(&mut peers, &mut ledger);
+        core.on_leave(NodeId(5), 1.1, &mut peers, &mut ledger)
+            .unwrap();
+        core.reconcile(&mut peers, &mut ledger).unwrap();
         assert!(!core.cl.contains(NodeId(5)));
 
         peers[5].as_mut().unwrap().up = true;
-        core.on_join(NodeId(5), 1.1, &mut peers, &mut ledger);
+        core.on_join(NodeId(5), 1.1, &mut peers, &mut ledger)
+            .unwrap();
         assert_eq!(core.cl.freshness(NodeId(5)), Some(Freshness::NeedsRefresh));
         assert_eq!(
             core.gs.all_sources().len(),
             7,
             "description arrives with the next pull, not the join"
         );
-        core.reconcile(&mut peers, &mut ledger);
+        core.reconcile(&mut peers, &mut ledger).unwrap();
         assert_eq!(core.gs.all_sources().len(), 8);
         assert_eq!(core.cl.freshness(NodeId(5)), Some(Freshness::Fresh));
     }

@@ -64,10 +64,13 @@ pub struct QueryOutcome {
 }
 
 /// State of one latency-mode reconciliation ring (§4.2.2 as a
-/// multi-event conversation): the token hops from live member to live
-/// member as scheduled deliveries, gathering summary snapshots. A hop
-/// that lands on a churned-out peer silently drops the token; the SP's
-/// watchdog then completes the pull with whatever was gathered.
+/// multi-event conversation): the token hops from *stale* live member
+/// to stale live member as scheduled deliveries, gathering summary
+/// snapshots — fresh members are not visited at all, since their
+/// contributions already sit in the SP's accumulator (incremental GS
+/// maintenance; see [`crate::peerstate`]). A hop that lands on a
+/// churned-out peer silently drops the token; the SP's watchdog then
+/// completes the pull with whatever was gathered.
 #[derive(Debug)]
 pub(crate) struct RingConversation {
     /// The domain running the ring.
@@ -90,6 +93,14 @@ impl RingConversation {
             gathered: Vec::new(),
             done: false,
         }
+    }
+
+    /// The incremental pull route: live partners whose cooperation-list
+    /// entries are flagged stale (`NeedsRefresh` / `Unavailable`), in
+    /// id order. Fresh partners are skipped — §4.2.2's pull only needs
+    /// what changed since the last round.
+    pub fn stale_route<F: Fn(NodeId) -> bool>(cl: &CooperationList, up: F) -> Vec<NodeId> {
+        cl.old_partners().filter(|&p| up(p)).collect()
     }
 
     /// Current token payload size: the gathered summaries (`NewGS`

@@ -4,21 +4,28 @@
 //! churn and reconciliation run). The `sumq-bench` binaries call these
 //! at paper scale; integration tests call them at reduced scale.
 
+use std::time::Instant;
+
+use fuzzy::bk::BackgroundKnowledge;
 use p2psim::churn::LifetimeDistribution;
-use p2psim::network::Network;
+use p2psim::network::{MessageClass, Network, NodeId};
 use p2psim::time::SimTime;
 use p2psim::topology::{Graph, TopologyConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use saintetiq::wire;
 
 use crate::baselines;
 use crate::config::{DeliveryMode, LatencyConfig, SimConfig};
 use crate::costmodel;
 use crate::domain::DomainSim;
 use crate::error::P2pError;
+use crate::freshness::Freshness;
 use crate::kernel::{LookupTarget, MultiDomainSim};
 use crate::metrics::{DomainReport, MultiDomainReport};
+use crate::peerstate::{DomainCore, MessageLedger, PeerState};
 use crate::routing::RoutingPolicy;
+use crate::workload::{generate_peer_data, make_templates};
 
 /// One point of Figure 4 / Figure 5.
 #[derive(Debug, Clone)]
@@ -339,6 +346,117 @@ pub fn figure_latency_sweep(
     Ok(out)
 }
 
+/// One point of the full-vs-incremental reconciliation cost sweep
+/// ([`reconcile_cost_sweep`]): a single α-gated pull over a domain of
+/// `n` members of which `stale_members` drifted, measured both ways.
+#[derive(Debug, Clone)]
+pub struct ReconcilePoint {
+    /// Domain size.
+    pub n: usize,
+    /// Fraction of members drifted before the round.
+    pub drift_fraction: f64,
+    /// Members actually flagged stale (⌈fraction·n⌉, at least 1).
+    pub stale_members: usize,
+    /// Member summaries the incremental round decoded + folded.
+    pub incr_merged: u64,
+    /// Live members the incremental round skipped.
+    pub incr_skipped: u64,
+    /// Delta payload bytes the incremental round pulled.
+    pub incr_delta_bytes: u64,
+    /// Token hops of the incremental round (stale members + store).
+    pub incr_token_hops: u64,
+    /// Wall-clock microseconds of the incremental round.
+    pub incr_micros: u64,
+    /// Member summaries a from-scratch rebuild decodes + folds (every
+    /// live member).
+    pub full_merged: u64,
+    /// Wall-clock microseconds of the from-scratch oracle rebuild.
+    pub full_micros: u64,
+    /// Encoded GS size after the round.
+    pub gs_bytes: usize,
+    /// Whether the incremental GS matched the oracle byte-for-byte.
+    pub equivalent: bool,
+}
+
+/// Measures one reconciliation round full-scratch vs incrementally, per
+/// domain size and drift fraction: builds a domain, enrolls everyone,
+/// drifts `fraction` of the members (regenerated data + stale flag),
+/// then runs the incremental pull and times the from-scratch oracle on
+/// the same state. The `BENCH_reconcile.json` emitted by
+/// `multidomain_churn --reconcile` is this sweep; its headline claim —
+/// per-round merge work scales with the stale subset, not membership —
+/// is the `incr_merged == stale_members ≪ full_merged` column pair.
+pub fn reconcile_cost_sweep(
+    sizes: &[usize],
+    drift_fractions: &[f64],
+    base: &SimConfig,
+) -> Result<Vec<ReconcilePoint>, P2pError> {
+    let bk = BackgroundKnowledge::medical_cbk();
+    let templates = make_templates(base.template_count);
+    let mut out = Vec::new();
+    for &n in sizes {
+        let mut rng = StdRng::seed_from_u64(base.seed ^ (n as u64).wrapping_mul(0xA24B_AED4));
+        let mut peers: Vec<Option<PeerState>> = Vec::with_capacity(n);
+        for p in 0..n {
+            peers.push(Some(PeerState::new(generate_peer_data(
+                &mut rng,
+                p as u32,
+                &bk,
+                &templates,
+                base.match_fraction,
+                base.records_per_peer,
+            )?)));
+        }
+        let mut core = DomainCore::new(None, (0..n as u32).map(NodeId).collect());
+        core.enroll_all(&mut peers, &mut MessageLedger::new())?;
+
+        for &fraction in drift_fractions {
+            let stale = ((fraction * n as f64).ceil() as usize).clamp(1, n);
+            let mut core_i = core.clone();
+            let mut peers_i = peers.clone();
+            // Spread the drifted members across the id space.
+            for k in 0..stale {
+                let p = (k * n / stale) as u32;
+                let data = generate_peer_data(
+                    &mut rng,
+                    p,
+                    &bk,
+                    &templates,
+                    base.match_fraction,
+                    base.records_per_peer,
+                )?;
+                peers_i[p as usize].as_mut().expect("generated above").data = data;
+                core_i.cl.set_freshness(NodeId(p), Freshness::NeedsRefresh);
+            }
+
+            let mut ledger = MessageLedger::new();
+            let t0 = Instant::now();
+            let work = core_i.reconcile(&mut peers_i, &mut ledger)?;
+            let incr_micros = t0.elapsed().as_micros() as u64;
+
+            let t1 = Instant::now();
+            let oracle = core_i.full_rebuild_oracle(&peers_i)?;
+            let full_micros = t1.elapsed().as_micros() as u64;
+
+            out.push(ReconcilePoint {
+                n,
+                drift_fraction: fraction,
+                stale_members: stale,
+                incr_merged: work.merged,
+                incr_skipped: work.skipped,
+                incr_delta_bytes: work.delta_bytes,
+                incr_token_hops: ledger.sent(MessageClass::Reconciliation),
+                incr_micros,
+                full_merged: peers_i.iter().flatten().filter(|s| s.up).count() as u64,
+                full_micros,
+                gs_bytes: core_i.gs_bytes_last,
+                equivalent: wire::encode(&core_i.gs) == wire::encode(&oracle),
+            });
+        }
+    }
+    Ok(out)
+}
+
 /// A compact run of the full pipeline at small scale — used by tests and
 /// the quickstart example to sanity-check the whole stack end to end.
 pub fn smoke_run(seed: u64) -> Result<DomainReport, P2pError> {
@@ -462,6 +580,27 @@ mod tests {
         }
         assert!((fast.mean_downtime_s - base.mean_downtime_s / 4.0).abs() < 1e-9);
         fast.validate().unwrap();
+    }
+
+    #[test]
+    fn reconcile_sweep_scales_with_stale_subset_and_stays_equivalent() {
+        let mut base = quick_base();
+        base.records_per_peer = 8;
+        let points = reconcile_cost_sweep(&[60], &[0.05, 0.5], &base).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(
+                p.equivalent,
+                "incremental GS diverged from the oracle: {p:?}"
+            );
+            assert_eq!(p.incr_merged as usize, p.stale_members);
+            assert_eq!(p.incr_skipped as usize, p.n - p.stale_members);
+            assert_eq!(p.incr_token_hops, p.incr_merged + 1, "stale hops + store");
+            assert_eq!(p.full_merged as usize, p.n);
+        }
+        // Merge work tracks the stale subset, not the membership.
+        assert!(points[0].incr_merged < points[1].incr_merged);
+        assert_eq!(points[0].incr_merged, 3, "5% of 60");
     }
 
     #[test]

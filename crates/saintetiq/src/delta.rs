@@ -1,0 +1,371 @@
+//! Incremental maintenance of merged summaries (delta reconciliation).
+//!
+//! [`crate::merge::merge_into`] is destructive: once a source's leaves
+//! are folded into a global summary there is no way to take them out
+//! again short of re-merging every other contributor from scratch. That
+//! makes every reconciliation round O(|partners|) even when a single
+//! cooperation-list entry crossed the α threshold.
+//!
+//! [`GsAccumulator`] fixes this at the engine layer. It keeps one
+//! [`SourceDelta`] per contributing source — the flattened leaves of
+//! that source's last pulled summary — and supports
+//! [`GsAccumulator::update_source`] / [`GsAccumulator::remove_source`]
+//! in O(|that source's cells|). The merged view is produced by
+//! [`GsAccumulator::build_merged`], a **canonical** construction: cells
+//! are incorporated in cell-key order and, within a cell, contributors
+//! in source-id order. Because the construction is a pure function of
+//! the *current* source set (never of the update history), two
+//! accumulators holding the same contributions produce byte-identical
+//! wire encodings — the property the domain layer's full-rebuild oracle
+//! and the `gs_incremental` property tests rely on.
+//!
+//! Cost model, stated honestly: an update decodes and flattens only
+//! the changed source — the *merge/decode work* per round (the paper's
+//! §6.1 cost unit) scales with the stale subset. `build_merged` itself
+//! is Θ(total contributions): the merged summary physically stores one
+//! per-source entry per (source, cell) pair, so materializing it — like
+//! encoding it, or like the SP receiving and storing the full `NewGS`
+//! token in §4.2.2 — is inherently linear in Σ per-source cells. What
+//! the accumulator removes is the per-partner wire decode and Cobweb
+//! re-merge that used to dominate the round; the remaining canonical
+//! store is a small-constant pass over the cell map (measured ≈3×
+//! end-to-end at 1% drift in `BENCH_reconcile.json`, with the gap
+//! widening as summaries grow, since decode cost scales with encoded
+//! size while the store pass does not).
+
+use std::collections::BTreeMap;
+
+use fuzzy::descriptor::Grade;
+use relation::stats::AttributeStats;
+
+use crate::cell::{CellKey, SourceId};
+use crate::engine::{incorporate_cell, EngineConfig};
+use crate::error::SummaryError;
+use crate::hierarchy::SummaryTree;
+
+/// One contributed cell: the coordinate plus everything the merge needs
+/// to replay it into a fresh tree.
+#[derive(Debug, Clone)]
+struct DeltaCell {
+    key: CellKey,
+    weight: f64,
+    grades: Vec<Grade>,
+    stats: Vec<AttributeStats>,
+}
+
+/// One source's flattened contribution to a merged summary: the leaves
+/// of its (local) summary hierarchy, restricted to that source's own
+/// per-cell weights.
+#[derive(Debug, Clone)]
+pub struct SourceDelta {
+    cells: Vec<DeltaCell>,
+    /// Encoded size of the summary this delta was flattened from (what
+    /// the wire carried; 0 when built straight from a tree).
+    encoded_bytes: usize,
+}
+
+impl SourceDelta {
+    /// Flattens `source`'s contribution out of a summary tree.
+    ///
+    /// For the intended use — a peer's *local* summary, where `source`
+    /// is the only contributor — the extracted weights, grades and
+    /// statistics are exact. On a multi-source tree the per-cell grades
+    /// and statistics are shared across contributors, so the flattening
+    /// is an upper bound; the P2P layer never needs that case.
+    pub fn from_tree(tree: &SummaryTree, source: SourceId) -> Self {
+        let cells = tree
+            .cells()
+            .iter()
+            .filter_map(|(key, entry)| {
+                let weight = entry.content.per_source.get(&source).copied()?;
+                Some(DeltaCell {
+                    key: key.clone(),
+                    weight,
+                    grades: entry.content.max_grades.clone(),
+                    stats: entry.stats.clone(),
+                })
+            })
+            .collect();
+        Self {
+            cells,
+            encoded_bytes: 0,
+        }
+    }
+
+    /// Number of cells this source contributes.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Encoded size of the summary the delta was flattened from.
+    pub fn encoded_bytes(&self) -> usize {
+        self.encoded_bytes
+    }
+}
+
+/// A per-source accumulator for one merged (global) summary.
+///
+/// See the module docs for the design; in short: O(|source|) updates,
+/// O(|merged summary|) canonical rebuilds, byte-stable encodings.
+#[derive(Debug, Clone)]
+pub struct GsAccumulator {
+    bk_name: String,
+    label_counts: Vec<usize>,
+    config: EngineConfig,
+    sources: BTreeMap<SourceId, SourceDelta>,
+}
+
+impl GsAccumulator {
+    /// An empty accumulator over the given Background Knowledge shape.
+    pub fn new(bk_name: impl Into<String>, label_counts: Vec<usize>) -> Self {
+        Self {
+            bk_name: bk_name.into(),
+            label_counts,
+            config: EngineConfig::default(),
+            sources: BTreeMap::new(),
+        }
+    }
+
+    /// Replaces (or inserts) `source`'s contribution with the leaves of
+    /// `tree`. The tree must be built over the accumulator's BK.
+    pub fn update_source(
+        &mut self,
+        source: SourceId,
+        tree: &SummaryTree,
+    ) -> Result<(), SummaryError> {
+        if tree.bk_name() != self.bk_name || tree.label_counts() != &self.label_counts[..] {
+            return Err(SummaryError::IncompatibleBk {
+                left: self.bk_name.clone(),
+                right: tree.bk_name().to_string(),
+            });
+        }
+        self.sources
+            .insert(source, SourceDelta::from_tree(tree, source));
+        Ok(())
+    }
+
+    /// [`GsAccumulator::update_source`] from an encoded summary: decodes
+    /// `bytes` and records its size as the pulled delta payload.
+    /// Returns the payload size on success.
+    pub fn update_source_encoded(
+        &mut self,
+        source: SourceId,
+        bytes: &[u8],
+    ) -> Result<usize, SummaryError> {
+        let tree = crate::wire::decode(bytes)?;
+        self.update_source(source, &tree)?;
+        if let Some(delta) = self.sources.get_mut(&source) {
+            delta.encoded_bytes = bytes.len();
+        }
+        Ok(bytes.len())
+    }
+
+    /// Drops `source`'s contribution. Returns whether it was present.
+    pub fn remove_source(&mut self, source: SourceId) -> bool {
+        self.sources.remove(&source).is_some()
+    }
+
+    /// True when `source` currently contributes.
+    pub fn contains(&self, source: SourceId) -> bool {
+        self.sources.contains_key(&source)
+    }
+
+    /// Number of contributing sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when no source contributes.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// The contributing sources, in id order.
+    pub fn sources(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.sources.keys().copied()
+    }
+
+    /// Drops every contribution (domain dissolution).
+    pub fn clear(&mut self) {
+        self.sources.clear();
+    }
+
+    /// Builds the canonical merged summary of the current contributions.
+    ///
+    /// Deterministic in the source *set*: cells are incorporated in
+    /// cell-key order and contributors within a cell in source-id
+    /// order, so the output — including every floating-point low bit of
+    /// the folded statistics — depends only on what is contributed, not
+    /// on the order updates and removals happened in.
+    pub fn build_merged(&self) -> SummaryTree {
+        let mut by_cell: BTreeMap<&CellKey, Vec<(SourceId, &DeltaCell)>> = BTreeMap::new();
+        for (&src, delta) in &self.sources {
+            for cell in &delta.cells {
+                by_cell.entry(&cell.key).or_default().push((src, cell));
+            }
+        }
+        let mut tree = SummaryTree::new(self.bk_name.clone(), self.label_counts.clone());
+        for (key, contribs) in by_cell {
+            for (src, cell) in contribs {
+                incorporate_cell(
+                    &mut tree,
+                    &self.config,
+                    key,
+                    src,
+                    cell.weight,
+                    &cell.grades,
+                    None,
+                );
+                tree.merge_cell_stats(key, &cell.stats);
+            }
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SaintEtiQEngine;
+    use crate::merge::merge_all;
+    use crate::wire;
+    use fuzzy::bk::BackgroundKnowledge;
+    use rand::SeedableRng;
+    use relation::generator::{patient_table, MatchTarget, PatientDistributions};
+    use relation::schema::Schema;
+
+    fn local_summary(seed: u64, source: u32, n: usize) -> SummaryTree {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dist = PatientDistributions::default();
+        let table = patient_table(&mut rng, n, &dist, &MatchTarget::default(), 0);
+        let mut e = SaintEtiQEngine::new(
+            BackgroundKnowledge::medical_cbk(),
+            &Schema::patient(),
+            EngineConfig::default(),
+            SourceId(source),
+        )
+        .unwrap();
+        e.summarize_table(&table);
+        e.into_tree()
+    }
+
+    fn acc() -> GsAccumulator {
+        GsAccumulator::new("medical-cbk-v1", vec![3, 3, 3, 12])
+    }
+
+    #[test]
+    fn build_matches_merge_all_at_the_cell_level() {
+        let locals: Vec<SummaryTree> = (0..6)
+            .map(|i| local_summary(40 + i, i as u32, 60))
+            .collect();
+        let mut a = acc();
+        for (i, t) in locals.iter().enumerate() {
+            a.update_source(SourceId(i as u32), t).unwrap();
+        }
+        let built = a.build_merged();
+        built.check_invariants();
+        let merged = merge_all(
+            locals[0].bk_name(),
+            locals[0].label_counts(),
+            locals.iter(),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(built.leaf_count(), merged.leaf_count());
+        assert!((built.total_count() - merged.total_count()).abs() < 1e-6);
+        assert_eq!(built.all_sources(), merged.all_sources());
+        // Per-cell content is *exactly* equal: for any one cell, both
+        // paths fold the same contributions in the same source order
+        // (merge_all visits sources in order; build_merged orders
+        // contributors per cell by source id), so even the
+        // floating-point low bits of weights, grades and statistics
+        // must agree — only the hierarchy above the cells may differ.
+        for (k, entry) in merged.cells() {
+            let b = &built.cells()[k];
+            assert_eq!(b.content.per_source, entry.content.per_source);
+            assert_eq!(b.content.weight, entry.content.weight);
+            assert_eq!(b.content.max_grades, entry.content.max_grades);
+            for (bs, ms) in b.stats.iter().zip(&entry.stats) {
+                assert_eq!(bs.raw_parts(), ms.raw_parts());
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_canonical_in_the_source_set() {
+        let locals: Vec<SummaryTree> = (0..5)
+            .map(|i| local_summary(50 + i, i as u32, 40))
+            .collect();
+        let drifted = local_summary(99, 2, 40);
+
+        // History A: enroll 0..5 in order, then re-pull source 2.
+        let mut a = acc();
+        for (i, t) in locals.iter().enumerate() {
+            a.update_source(SourceId(i as u32), t).unwrap();
+        }
+        a.update_source(SourceId(2), &drifted).unwrap();
+
+        // History B: reversed enrollment, a removal, a re-add, then the
+        // same final contribution set.
+        let mut b = acc();
+        for (i, t) in locals.iter().enumerate().rev() {
+            b.update_source(SourceId(i as u32), t).unwrap();
+        }
+        b.remove_source(SourceId(4));
+        b.update_source(SourceId(2), &drifted).unwrap();
+        b.update_source(SourceId(4), &locals[4]).unwrap();
+
+        assert_eq!(
+            wire::encode(&a.build_merged()),
+            wire::encode(&b.build_merged()),
+            "merged view is a pure function of the contribution set"
+        );
+    }
+
+    #[test]
+    fn update_and_remove_roundtrip() {
+        let t1 = local_summary(60, 1, 50);
+        let t2 = local_summary(61, 2, 50);
+        let mut a = acc();
+        a.update_source(SourceId(1), &t1).unwrap();
+        a.update_source(SourceId(2), &t2).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(SourceId(1)));
+
+        assert!(a.remove_source(SourceId(2)));
+        assert!(!a.remove_source(SourceId(2)), "double remove is a no-op");
+        let solo = a.build_merged();
+        assert_eq!(solo.all_sources(), vec![SourceId(1)]);
+        // With only source 1 left, the merged view is source 1's cells.
+        assert_eq!(solo.leaf_count(), t1.leaf_count());
+        assert!((solo.total_count() - t1.total_count()).abs() < 1e-9);
+
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.build_merged().leaf_count(), 0);
+    }
+
+    #[test]
+    fn encoded_update_tracks_payload_bytes() {
+        let t = local_summary(70, 3, 30);
+        let bytes = wire::encode(&t);
+        let mut a = acc();
+        let n = a.update_source_encoded(SourceId(3), &bytes).unwrap();
+        assert_eq!(n, bytes.len());
+        assert!(a.contains(SourceId(3)));
+        assert!(a.update_source_encoded(SourceId(4), &bytes[..10]).is_err());
+        assert!(!a.contains(SourceId(4)), "failed decode leaves no entry");
+    }
+
+    #[test]
+    fn incompatible_bk_rejected() {
+        let t = local_summary(80, 1, 20);
+        let mut wrong = GsAccumulator::new("other-bk", t.label_counts().to_vec());
+        assert!(matches!(
+            wrong.update_source(SourceId(1), &t),
+            Err(SummaryError::IncompatibleBk { .. })
+        ));
+        let mut wrong_shape = GsAccumulator::new(t.bk_name(), vec![1, 2]);
+        assert!(wrong_shape.update_source(SourceId(1), &t).is_err());
+    }
+}

@@ -25,6 +25,10 @@
 //! * summary **merging** ([`merge`]) — incorporate the leaves of one
 //!   hierarchy into another (Bechchi et al., CIKM 2007 \[27\]), with cost
 //!   independent of the number of raw tuples;
+//! * **delta reconciliation** ([`delta`]) — a per-source accumulator
+//!   over merged summaries (`update_source` / `remove_source`) whose
+//!   canonical rebuild lets global summaries be maintained by pulling
+//!   only the stale subset of partners instead of re-merging everyone;
 //! * **incremental maintenance** ([`maintenance`]) — a summary changes
 //!   only when descriptors appear/disappear in intents, which is how
 //!   partner peers decide to send `push` messages (§4.2.1);
@@ -41,6 +45,7 @@
 //! is simultaneously a database index and a semantic network index.
 
 pub mod cell;
+pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod hierarchy;
@@ -52,6 +57,7 @@ pub mod score;
 pub mod wire;
 
 pub use cell::{CandidateCell, CellKey, SourceId};
+pub use delta::{GsAccumulator, SourceDelta};
 pub use engine::{EngineConfig, SaintEtiQEngine};
 pub use error::SummaryError;
 pub use hierarchy::{Intent, NodeId, SummaryTree};
