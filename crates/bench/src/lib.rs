@@ -23,6 +23,13 @@ pub struct Cli {
     /// only): run the full-vs-incremental GS maintenance sweep and emit
     /// `BENCH_reconcile.json` instead of the churn table.
     pub reconcile: bool,
+    /// Adaptive-α mode (`--adaptive`, `multidomain_churn` only): run
+    /// the heterogeneous-drift fixed-α sweep vs the feedback control
+    /// plane and emit `BENCH_alpha.json` instead of the churn table.
+    pub adaptive: bool,
+    /// Zipf workload (`--zipf`): draw query templates from a Zipf(1.2)
+    /// popularity distribution instead of round-robin.
+    pub zipf: bool,
 }
 
 impl Cli {
@@ -33,6 +40,8 @@ impl Cli {
             quick: false,
             latency: false,
             reconcile: false,
+            adaptive: false,
+            zipf: false,
         };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
@@ -48,6 +57,8 @@ impl Cli {
                 "--quick" => cli.quick = true,
                 "--latency" => cli.latency = true,
                 "--reconcile" => cli.reconcile = true,
+                "--adaptive" => cli.adaptive = true,
+                "--zipf" => cli.zipf = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag `{other}`")),
             }
@@ -79,7 +90,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <fig binary> [--seed N] [--quick] [--latency] [--reconcile]");
+    eprintln!(
+        "usage: <fig binary> [--seed N] [--quick] [--latency] [--reconcile] [--adaptive] [--zipf]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -173,6 +186,8 @@ mod tests {
             quick: false,
             latency: false,
             reconcile: false,
+            adaptive: false,
+            zipf: false,
         };
         assert_eq!(cli.domain_sizes().first(), Some(&16));
         assert_eq!(cli.domain_sizes().last(), Some(&5000));
@@ -181,6 +196,8 @@ mod tests {
             quick: true,
             latency: false,
             reconcile: false,
+            adaptive: false,
+            zipf: false,
         };
         assert!(quick.domain_sizes().len() < cli.domain_sizes().len());
     }

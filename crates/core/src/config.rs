@@ -17,6 +17,7 @@
 use p2psim::churn::LifetimeDistribution;
 use p2psim::time::SimTime;
 
+use crate::control::ControlPolicy;
 use crate::error::P2pError;
 use crate::routing::RoutingPolicy;
 
@@ -67,6 +68,15 @@ impl LatencyConfig {
 
     /// Validates ranges.
     pub fn validate(&self) -> Result<(), P2pError> {
+        if self.default_hop == SimTime::ZERO {
+            // `SimTime` is unsigned microseconds, so negative and
+            // non-finite hops cannot be represented; zero is the one
+            // degenerate value left and it would let "unknown" hops
+            // (implicit SP, long links, walks) transit for free.
+            return Err(P2pError::BadConfig(
+                "latency default_hop must be positive".into(),
+            ));
+        }
         if !(self.scale.is_finite() && self.scale > 0.0) {
             return Err(P2pError::BadConfig(format!(
                 "latency scale {} must be finite and positive",
@@ -129,8 +139,49 @@ pub struct SimConfig {
     /// immortal; `Some(dist)` schedules one departure per SP from the
     /// distribution, mid-run (§4.3's release + re-home protocol).
     pub sp_lifetime: Option<LifetimeDistribution>,
+    /// How the per-domain effective α is chosen. `None` (the default)
+    /// resolves to [`ControlPolicy::Fixed`] at [`SimConfig::alpha`] —
+    /// today's single-threshold behavior, byte-identical event and RNG
+    /// streams. `Some(policy)` overrides: an explicit `Fixed(α)` pins a
+    /// different threshold, `Adaptive { .. }` turns on the per-domain
+    /// feedback control plane ([`crate::control`]).
+    pub control: Option<ControlPolicy>,
+    /// Heterogeneous per-domain drift: domain `d` of `D` drifts at a
+    /// rate scaled by `drift_spread^(2d/(D−1) − 1)` — log-spaced rates
+    /// in `[1/spread, spread]` across domains. `1.0` (the default)
+    /// keeps every domain on Table 3's homogeneous lifetime `L` and the
+    /// legacy event streams byte-identical. This is the scenario axis
+    /// adaptive α has something to find on.
+    pub drift_spread: f64,
+    /// Zipf-distributed query-template popularity: `Some(s)` draws each
+    /// scheduled query's template with probability ∝ `1/(rank+1)^s`
+    /// instead of round-robin. `None` (the default) keeps the legacy
+    /// round-robin schedule and its RNG stream untouched.
+    pub zipf_exponent: Option<f64>,
     /// Master seed; every stochastic choice derives from it.
     pub seed: u64,
+}
+
+/// Validates one lifetime distribution's parameters: positive, finite,
+/// and (for the lognormal) mean ≥ median — `lognormal_mean_median`
+/// takes `√(2·ln(mean/median))`, which is NaN for mean < median.
+fn validate_lifetime(dist: &LifetimeDistribution, what: &str) -> Result<(), P2pError> {
+    let ok = |x: f64| x.is_finite() && x > 0.0;
+    let valid = match *dist {
+        LifetimeDistribution::LogNormalMeanMedian { mean_s, median_s } => {
+            ok(mean_s) && ok(median_s) && mean_s >= median_s
+        }
+        LifetimeDistribution::Exponential { mean_s } => ok(mean_s),
+        LifetimeDistribution::Weibull { shape, scale_s } => ok(shape) && ok(scale_s),
+    };
+    if valid {
+        Ok(())
+    } else {
+        Err(P2pError::BadConfig(format!(
+            "{what} parameters must be finite and positive \
+             (lognormal additionally needs mean >= median): {dist:?}"
+        )))
+    }
 }
 
 impl SimConfig {
@@ -154,8 +205,18 @@ impl SimConfig {
             topology_m: 2,
             delivery: DeliveryMode::Instantaneous,
             sp_lifetime: None,
+            control: None,
+            drift_spread: 1.0,
+            zipf_exponent: None,
             seed: 42,
         }
+    }
+
+    /// The effective control policy: the configured one, or
+    /// [`ControlPolicy::Fixed`] at [`SimConfig::alpha`] when none is
+    /// set.
+    pub fn control_policy(&self) -> ControlPolicy {
+        self.control.unwrap_or(ControlPolicy::Fixed(self.alpha))
     }
 
     /// The latency configuration when the message plane is enabled.
@@ -217,6 +278,26 @@ impl SimConfig {
         if let DeliveryMode::Latency(lat) = self.delivery {
             lat.validate()?;
         }
+        validate_lifetime(&self.lifetime, "lifetime")?;
+        if let Some(dist) = &self.sp_lifetime {
+            validate_lifetime(dist, "sp_lifetime")?;
+        }
+        if let Some(policy) = &self.control {
+            policy.validate()?;
+        }
+        if !(self.drift_spread.is_finite() && self.drift_spread >= 1.0) {
+            return Err(P2pError::BadConfig(format!(
+                "drift_spread {} must be finite and >= 1",
+                self.drift_spread
+            )));
+        }
+        if let Some(s) = self.zipf_exponent {
+            if !(s.is_finite() && s >= 0.0) {
+                return Err(P2pError::BadConfig(format!(
+                    "zipf_exponent {s} must be finite and non-negative"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -277,6 +358,89 @@ mod tests {
         let mut c = SimConfig::paper_defaults(100, 0.3);
         c.sumpeer_ttl = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_bounds_lifetimes() {
+        // Main lifetime: degenerate lognormal parameters are rejected
+        // (mean < median yields a NaN sigma at sampling time).
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.lifetime = LifetimeDistribution::LogNormalMeanMedian {
+            mean_s: 100.0,
+            median_s: 3600.0,
+        };
+        assert!(c.validate().is_err());
+
+        // sp_lifetime: zero / negative / non-finite parameters rejected.
+        for bad in [
+            LifetimeDistribution::Exponential { mean_s: 0.0 },
+            LifetimeDistribution::Exponential { mean_s: -5.0 },
+            LifetimeDistribution::Exponential { mean_s: f64::NAN },
+            LifetimeDistribution::Weibull {
+                shape: 0.0,
+                scale_s: 100.0,
+            },
+            LifetimeDistribution::LogNormalMeanMedian {
+                mean_s: f64::INFINITY,
+                median_s: 3600.0,
+            },
+        ] {
+            let mut c = SimConfig::paper_defaults(100, 0.3);
+            c.sp_lifetime = Some(bad);
+            assert!(c.validate().is_err(), "{bad:?} must be rejected");
+        }
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.sp_lifetime = Some(LifetimeDistribution::Exponential { mean_s: 7200.0 });
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_bounds_latency_default_hop() {
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        let mut bad = LatencyConfig::wan_default();
+        bad.default_hop = SimTime::ZERO;
+        c.delivery = DeliveryMode::Latency(bad);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_bounds_control_knobs() {
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.control = Some(crate::control::ControlPolicy::Fixed(2.0));
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.control = Some(crate::control::ControlPolicy::adaptive_default(0.2));
+        c.validate().unwrap();
+        assert_eq!(
+            c.control_policy(),
+            crate::control::ControlPolicy::adaptive_default(0.2)
+        );
+
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.drift_spread = 0.5;
+        assert!(c.validate().is_err());
+        c.drift_spread = f64::NAN;
+        assert!(c.validate().is_err());
+        c.drift_spread = 4.0;
+        c.validate().unwrap();
+
+        let mut c = SimConfig::paper_defaults(100, 0.3);
+        c.zipf_exponent = Some(-1.0);
+        assert!(c.validate().is_err());
+        c.zipf_exponent = Some(1.2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn default_control_policy_is_fixed_at_alpha() {
+        let c = SimConfig::paper_defaults(100, 0.3);
+        assert!(c.control.is_none());
+        assert_eq!(
+            c.control_policy(),
+            crate::control::ControlPolicy::Fixed(0.3)
+        );
+        assert_eq!(c.drift_spread, 1.0);
+        assert!(c.zipf_exponent.is_none());
     }
 
     #[test]

@@ -24,7 +24,15 @@
 //! * **queries** — intra-domain workload samples
 //!   ([`KernelEvent::LocalQuery`]) and, in networked mode, inter-domain
 //!   lookups ([`KernelEvent::InterQuery`]) routed against the *live*
-//!   per-domain GS/CL state via §5.2.2's flooding + long-link protocol.
+//!   per-domain GS/CL state via §5.2.2's flooding + long-link protocol;
+//! * **α control** — every α-gated decision reads the domain's
+//!   *effective* threshold from the maintenance control plane
+//!   ([`crate::control`]). The default fixed policy never moves it and
+//!   schedules nothing; under
+//!   [`crate::control::ControlPolicy::Adaptive`] a recurring
+//!   [`KernelEvent::ControlTick`] feeds each live domain's measured
+//!   stale-answer fraction and pull cost into one bounded proportional
+//!   step per epoch.
 //!
 //! ## The message plane
 //!
@@ -80,13 +88,14 @@ use saintetiq::wire;
 use crate::cache::QueryCache;
 use crate::config::{LatencyConfig, SimConfig};
 use crate::construction::{construct_domains, elect_superpeers, handle_sp_departure, Domains};
+use crate::control::AlphaController;
 use crate::error::P2pError;
 use crate::freshness::Freshness;
 use crate::messages::Message;
 use crate::metrics::{DomainReport, MultiDomainReport};
 use crate::peerstate::{DomainCore, MessageLedger, PeerState, SummarySnapshot};
 use crate::routing::{LookupConversation, QueryOutcome, RingConversation, RoutingPolicy};
-use crate::workload::{generate_peer_data, make_templates, QueryTemplate};
+use crate::workload::{generate_peer_data, make_templates, QueryTemplate, ZipfSampler};
 
 /// Sentinel id for the implicit summary peer of the single-domain
 /// simulation (it has no slot in the peer vector or the topology).
@@ -118,6 +127,13 @@ pub struct MultiDomainOutcome {
     /// Stale answers: peers the (possibly outdated) global summaries
     /// selected that turned out to be down or no longer matching.
     pub stale_answers: usize,
+    /// Validated answers the global summaries selected — the
+    /// summary-routing successes `stale_answers` is the failure side
+    /// of. Excludes results recovered through §5.2.2 answer caches,
+    /// which no summary vouched for; `stale / (stale + summary)` is
+    /// therefore the stale-answer fraction of summary routing itself,
+    /// the signal the adaptive control plane steers.
+    pub summary_results: usize,
     /// Virtual seconds between posing the query and completing the
     /// lookup. Strictly positive under the latency message plane; 0.0
     /// in instantaneous mode and for synchronous probes.
@@ -149,6 +165,7 @@ impl MultiDomainOutcome {
             messages: 0,
             satisfied: false,
             stale_answers: 0,
+            summary_results: 0,
             time_to_answer_s: 0.0,
         }
     }
@@ -207,6 +224,13 @@ pub enum KernelEvent {
         /// The departing summary peer.
         sp: NodeId,
     },
+    /// One control epoch of the maintenance control plane
+    /// ([`crate::control`]): every live domain's controller folds the
+    /// epoch's measured feedback into its effective α. Scheduled
+    /// recurring only under [`crate::control::ControlPolicy::Adaptive`],
+    /// so fixed-α runs keep their event streams byte-identical. Draws
+    /// no randomness.
+    ControlTick,
 }
 
 /// The unified simulation state: peers + domains + (optionally) the
@@ -246,6 +270,10 @@ pub struct SimKernel {
     domain_errors: u64,
     /// The first such error, kept for diagnostics.
     first_error: Option<P2pError>,
+    /// The maintenance control plane: one controller per domain slot
+    /// holding that domain's effective α (fixed, or fed back each
+    /// control epoch).
+    ctl: AlphaController,
 }
 
 /// The medical workload every kernel mode shares: the CBK plus the
@@ -331,13 +359,23 @@ impl SimKernel {
             peak_in_flight: 0,
             domain_errors: 0,
             first_error: None,
+            ctl: AlphaController::new(cfg.control_policy(), 1, cfg.alpha),
         };
         this.schedule_drift_all();
         this.schedule_churn();
+        let zipf = this
+            .cfg
+            .zipf_exponent
+            .map(|s| ZipfSampler::new(this.templates.len(), s));
         for (template, at) in query_sample_times(&this.cfg, this.templates.len()) {
+            let template = match &zipf {
+                Some(z) => z.sample(this.sim.rng()),
+                None => template,
+            };
             this.sim
                 .schedule_at(at, KernelEvent::LocalQuery { template });
         }
+        this.schedule_control();
         Ok(this)
     }
 
@@ -446,6 +484,7 @@ impl SimKernel {
             peak_in_flight: 0,
             domain_errors: 0,
             first_error: None,
+            ctl: AlphaController::new(cfg.control_policy(), n_domains, cfg.alpha),
         };
 
         if dynamics.is_some() {
@@ -453,8 +492,51 @@ impl SimKernel {
             this.schedule_churn();
             this.schedule_inter_queries();
             this.schedule_sp_sessions();
+            this.schedule_control();
         }
         Ok(this)
+    }
+
+    /// Schedules the first control epoch when the adaptive policy is
+    /// on. Fixed-α runs schedule nothing, keeping their event streams
+    /// byte-identical to the pre-control-plane kernel.
+    fn schedule_control(&mut self) {
+        if let Some(epoch) = self.ctl.epoch() {
+            self.sim.schedule_in(epoch, KernelEvent::ControlTick);
+        }
+    }
+
+    /// The current effective α of domain `d` — every α-gated decision
+    /// of the kernel reads this instead of `cfg.alpha`.
+    fn alpha_of(&self, d: usize) -> f64 {
+        self.ctl.alpha(d)
+    }
+
+    /// Samples one drift interval for peer `p`, scaled by its domain's
+    /// drift rate on the heterogeneous-drift axis
+    /// ([`crate::config::SimConfig::drift_spread`]).
+    fn drift_interval(&mut self, p: NodeId) -> SimTime {
+        let dt = self.cfg.lifetime.sample(self.sim.rng());
+        if self.cfg.drift_spread == 1.0 {
+            return dt;
+        }
+        let rate = self.domain_drift_rate(p);
+        SimTime::from_secs_f64(dt.as_secs_f64() / rate)
+    }
+
+    /// The per-domain drift-rate multiplier: log-spaced in
+    /// `[1/spread, spread]` across domain indices (1.0 for orphans and
+    /// single-domain runs).
+    fn domain_drift_rate(&self, p: NodeId) -> f64 {
+        let Some(d) = self.domain_of.get(p.index()).copied().flatten() else {
+            return 1.0;
+        };
+        let n = self.domains.len();
+        if n <= 1 {
+            return 1.0;
+        }
+        let x = d as f64 / (n - 1) as f64;
+        self.cfg.drift_spread.powf(2.0 * x - 1.0)
     }
 
     /// Schedules one departure per summary peer when SP churn is
@@ -475,7 +557,7 @@ impl SimKernel {
     fn schedule_drift_all(&mut self) {
         for p in 0..self.cfg.n_peers {
             if self.peers[p].is_some() {
-                let dt = self.cfg.lifetime.sample(self.sim.rng());
+                let dt = self.drift_interval(NodeId(p as u32));
                 self.sim
                     .schedule_in(dt, KernelEvent::Drift(NodeId(p as u32)));
             }
@@ -510,8 +592,16 @@ impl SimKernel {
         if partners.is_empty() {
             return;
         }
+        let zipf = self
+            .cfg
+            .zipf_exponent
+            .map(|s| ZipfSampler::new(self.templates.len(), s));
         for (template, at) in query_sample_times(&self.cfg, self.templates.len()) {
             let origin = partners[self.sim.rng().gen_range(0..partners.len())];
+            let template = match &zipf {
+                Some(z) => z.sample(self.sim.rng()),
+                None => template,
+            };
             self.sim
                 .schedule_at(at, KernelEvent::InterQuery { origin, template });
         }
@@ -541,16 +631,19 @@ impl SimKernel {
                     if let Some(d) = self.domain_of[idx] {
                         if self.lat.is_some() {
                             self.send_push(p, d, 1);
-                        } else if let Err(e) = self.domains[d].on_drift(
-                            p,
-                            self.cfg.alpha,
-                            &mut self.peers,
-                            &mut self.ledger,
-                        ) {
-                            self.note_error(e);
+                        } else {
+                            let alpha = self.alpha_of(d);
+                            if let Err(e) = self.domains[d].on_drift(
+                                p,
+                                alpha,
+                                &mut self.peers,
+                                &mut self.ledger,
+                            ) {
+                                self.note_error(e);
+                            }
                         }
                     }
-                    let dt = self.cfg.lifetime.sample(self.sim.rng());
+                    let dt = self.drift_interval(p);
                     self.sim.schedule_in(dt, KernelEvent::Drift(p));
                 } else if let Some(st) = self.peers[idx].as_mut() {
                     // While down: drift pauses; rejoin restarts it.
@@ -571,9 +664,10 @@ impl SimKernel {
                     }
                     if self.lat.is_none() {
                         if let Some(d) = self.domain_of[idx] {
+                            let alpha = self.alpha_of(d);
                             if let Err(e) = self.domains[d].on_leave(
                                 p,
-                                self.cfg.alpha,
+                                alpha,
                                 &mut self.peers,
                                 &mut self.ledger,
                             ) {
@@ -603,13 +697,13 @@ impl SimKernel {
                     if let Some(d) = self.domain_of[idx] {
                         if self.lat.is_some() {
                             self.send_localsum(p, d, SimTime::ZERO);
-                        } else if let Err(e) = self.domains[d].on_join(
-                            p,
-                            self.cfg.alpha,
-                            &mut self.peers,
-                            &mut self.ledger,
-                        ) {
-                            self.note_error(e);
+                        } else {
+                            let alpha = self.alpha_of(d);
+                            if let Err(e) =
+                                self.domains[d].on_join(p, alpha, &mut self.peers, &mut self.ledger)
+                            {
+                                self.note_error(e);
+                            }
                         }
                     } else if self.cfg.sp_lifetime.is_some() {
                         // An orphan of a dissolved domain walks to a
@@ -625,8 +719,9 @@ impl SimKernel {
                                     .unwrap_or(0);
                                 self.ledger.count(&Message::LocalSum { bytes }, 1);
                                 self.domains[d].apply_localsum(p);
+                                let alpha = self.alpha_of(d);
                                 if let Err(e) = self.domains[d].maybe_reconcile(
-                                    self.cfg.alpha,
+                                    alpha,
                                     &mut self.peers,
                                     &mut self.ledger,
                                 ) {
@@ -636,9 +731,10 @@ impl SimKernel {
                         }
                     }
                     let st = self.peers[idx].as_mut().expect("checked");
-                    if !st.drift_scheduled {
-                        st.drift_scheduled = true;
-                        let dt = self.cfg.lifetime.sample(self.sim.rng());
+                    let restart_drift = !st.drift_scheduled;
+                    st.drift_scheduled = true;
+                    if restart_drift {
+                        let dt = self.drift_interval(p);
                         self.sim.schedule_in(dt, KernelEvent::Drift(p));
                     }
                 }
@@ -689,7 +785,34 @@ impl SimKernel {
                 }
             }
             KernelEvent::SpDeparture { sp } => self.handle_sp_departure_event(sp),
+            KernelEvent::ControlTick => self.control_tick(),
         }
+    }
+
+    /// One control epoch: every live domain's controller folds the
+    /// epoch's measured feedback (query staleness, pull cost) into its
+    /// effective α, and a tightened α may arm a pull right away.
+    fn control_tick(&mut self) {
+        let Some(epoch) = self.ctl.epoch() else {
+            return;
+        };
+        let now_s = self.sim.now().as_secs_f64();
+        for d in 0..self.domains.len() {
+            if self.domains[d].dissolved {
+                continue;
+            }
+            let fallback = self.domains[d].cl.stale_fraction();
+            let spent = self.domains[d].delta_bytes_total;
+            let alpha = self.ctl.tick_domain(d, now_s, fallback, spent);
+            if self.lat.is_some() {
+                self.maybe_start_ring(d);
+            } else if let Err(e) =
+                self.domains[d].maybe_reconcile(alpha, &mut self.peers, &mut self.ledger)
+            {
+                self.note_error(e);
+            }
+        }
+        self.sim.schedule_in(epoch, KernelEvent::ControlTick);
     }
 
     /// The intra-domain workload query body (shared by the synchronous
@@ -706,6 +829,7 @@ impl SimKernel {
         );
         self.ledger
             .count(&Message::QueryHit { results: 1 }, outcome.answered as u64);
+        self.ctl.record_query(0, outcome.answered, outcome.real_fp);
         self.outcomes.push(outcome);
     }
 
@@ -848,7 +972,7 @@ impl SimKernel {
         let Some(lat) = self.lat else { return };
         if self.domains[d].dissolved
             || self.ring_of_domain[d].is_some()
-            || !self.domains[d].cl.needs_reconciliation(self.cfg.alpha)
+            || !self.domains[d].cl.needs_reconciliation(self.alpha_of(d))
         {
             return;
         }
@@ -1022,6 +1146,13 @@ impl SimKernel {
             return;
         };
         let (answering, stale, msgs) = self.query_domain(d, template);
+        // Controller feedback, part 1: peers the summary selected that
+        // were already down or drifted at SP time. The answers now sent
+        // in flight are judged at *arrival* (`deliver_hit`), so peers
+        // that churn out mid-flight feed the controller as stale too —
+        // keeping the control signal aligned with the per-outcome
+        // stale-answer accounting.
+        self.ctl.record_query(d, 0, stale);
         let forwards = msgs - answering.len() as u64;
         if let Some(net) = self.net.as_mut() {
             net.count_messages(MessageClass::Query, forwards);
@@ -1160,10 +1291,24 @@ impl SimKernel {
             .get(q.index())
             .and_then(|s| s.as_ref())
             .is_some_and(|s| s.up && s.data.matches(template));
+        // Controller feedback, part 2: the summary-selected answer's
+        // verdict *as delivered* — a peer that churned out while its
+        // answer was in flight counts as stale here, exactly as it does
+        // in the lookup's outcome. Attributed to the peer's current
+        // domain (gone only if it was orphaned mid-flight).
+        if summary_selected {
+            if let Some(dq) = self.domain_of.get(q.index()).copied().flatten() {
+                self.ctl
+                    .record_query(dq, usize::from(valid), usize::from(!valid));
+            }
+        }
         {
             let lc = self.lookups.get_mut(&conv).expect("checked above");
             if valid {
                 lc.answered.insert(q);
+                if summary_selected {
+                    lc.summary_ok += 1;
+                }
             } else if summary_selected {
                 lc.stale_answers += 1;
             }
@@ -1258,6 +1403,10 @@ impl SimKernel {
         }
         self.sp_index.remove(&sp);
         self.domains[d].dissolve();
+        // The control plane follows the domain's lifecycle: the slot's
+        // controller freezes at its final α (its trajectory ends here);
+        // re-homed partners feed their new domains' controllers instead.
+        self.ctl.on_dissolve(d);
         for dom in &mut self.domains {
             dom.long_links.retain(|&l| l != sp);
         }
@@ -1283,8 +1432,9 @@ impl SimKernel {
                             .unwrap_or(0);
                         self.ledger.count(&Message::LocalSum { bytes }, 1);
                         self.domains[nd].apply_localsum(m);
+                        let alpha = self.alpha_of(nd);
                         if let Err(e) = self.domains[nd].maybe_reconcile(
-                            self.cfg.alpha,
+                            alpha,
                             &mut self.peers,
                             &mut self.ledger,
                         ) {
@@ -1460,6 +1610,7 @@ impl SimKernel {
 
         let mut messages: u64 = 0;
         let mut stale_answers = 0usize;
+        let mut summary_results = 0usize;
         let mut answered: BTreeSet<NodeId> = BTreeSet::new();
         let mut visited_domains: BTreeSet<usize> = BTreeSet::new();
         // Domains to process next: discovered through flooding/long links.
@@ -1472,8 +1623,10 @@ impl SimKernel {
             }
             messages += 1; // the query message to this domain's SP
             let (answering, stale, msgs) = self.query_domain(d, template);
+            self.ctl.record_query(d, answering.len(), stale);
             messages += msgs;
             stale_answers += stale;
+            summary_results += answering.len();
             answered.extend(answering.iter().copied());
             if let Some(net) = self.net.as_mut() {
                 net.count_messages(MessageClass::Query, 1 + msgs);
@@ -1558,6 +1711,7 @@ impl SimKernel {
             messages,
             satisfied: answered.len() >= need.min(results_total),
             stale_answers,
+            summary_results,
             time_to_answer_s: 0.0,
         }
     }
@@ -1582,6 +1736,8 @@ impl SimKernel {
         report.reconcile_merged_members = work.merged;
         report.reconcile_skipped_members = work.skipped;
         report.reconcile_delta_bytes = work.delta_bytes;
+        report.final_alpha = self.ctl.alpha(0);
+        report.alpha_trajectory = self.ctl.trajectory(0).to_vec();
         report
     }
 
@@ -1639,7 +1795,7 @@ impl SimKernel {
             }
         }
         outcomes.sort_by_key(|o| o.0);
-        MultiDomainReport::from_run(
+        let mut report = MultiDomainReport::from_run(
             &self.cfg,
             self.domains.iter().filter(|d| !d.dissolved).count(),
             &outcomes,
@@ -1647,7 +1803,17 @@ impl SimKernel {
             reconciliations,
             self.cache_hits,
             self.peak_in_flight,
-        )
+        );
+        report.final_alphas = self.ctl.final_alphas();
+        report.mean_final_alpha = if report.final_alphas.is_empty() {
+            self.cfg.alpha
+        } else {
+            report.final_alphas.iter().sum::<f64>() / report.final_alphas.len() as f64
+        };
+        report.alpha_trajectories = (0..self.domains.len())
+            .map(|d| self.ctl.trajectory(d).to_vec())
+            .collect();
+        report
     }
 
     /// Forces a reconciliation round in every domain (used by probes and

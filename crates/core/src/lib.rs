@@ -42,6 +42,11 @@
 //! ## Supporting modules, following the paper's structure
 //!
 //! * [`config`] — Table 3's simulation parameters as a typed config;
+//! * [`control`] — the maintenance control plane: per-domain effective
+//!   α, fixed ([`control::ControlPolicy::Fixed`], the default — the
+//!   paper's single global threshold) or fed back each control epoch
+//!   from measured stale-answer fractions and reconciliation cost
+//!   ([`control::ControlPolicy::Adaptive`]);
 //! * [`freshness`] / [`coop`] — the 2-bit freshness values and the
 //!   cooperation list (§4.1, §4.3);
 //! * [`messages`] — the protocol vocabulary (`sumpeer`, `localsum`,
@@ -68,6 +73,7 @@ pub mod baselines;
 pub mod cache;
 pub mod config;
 pub mod construction;
+pub mod control;
 pub mod coop;
 pub mod costmodel;
 pub mod domain;
@@ -83,6 +89,7 @@ pub mod system;
 pub mod workload;
 
 pub use config::{DeliveryMode, LatencyConfig, SimConfig};
+pub use control::{AlphaController, ControlPolicy};
 pub use coop::CooperationList;
 pub use domain::DomainSim;
 pub use error::P2pError;

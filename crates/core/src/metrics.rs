@@ -72,6 +72,14 @@ pub struct DomainReport {
     /// The same weights when departed peers' last descriptions are kept
     /// (§4.3's alternative 1).
     pub approx_weight_with_departed: Vec<f64>,
+    /// The domain's effective α at the end of the run — equals
+    /// [`DomainReport::alpha`] under the fixed policy, the converged
+    /// value under [`crate::control::ControlPolicy::Adaptive`].
+    pub final_alpha: f64,
+    /// `(virtual seconds, α)` trajectory of the domain's controller:
+    /// the initial point plus one sample per control epoch (just the
+    /// initial point under the fixed policy).
+    pub alpha_trajectory: Vec<(f64, f64)>,
 }
 
 impl DomainReport {
@@ -134,6 +142,8 @@ impl DomainReport {
             reconcile_delta_bytes: 0,
             approx_weight_live: Vec::new(),
             approx_weight_with_departed: Vec::new(),
+            final_alpha: cfg.alpha,
+            alpha_trajectory: Vec::new(),
         }
     }
 
@@ -232,6 +242,15 @@ pub struct MultiDomainReport {
     /// Mean stale answers per lookup (summary-selected peers that were
     /// down or no longer matching).
     pub mean_stale_answers: f64,
+    /// Mean per-lookup stale-answer *fraction* of summary routing:
+    /// `stale / (stale + summary_results)` averaged over the lookups in
+    /// which the summaries selected anybody at all (summary-free
+    /// lookups — down origins, cache-only answers — are excluded, not
+    /// averaged in as zeros). Cache-recovered answers are excluded
+    /// too — no summary vouched for them — so this is exactly the
+    /// network-wide form of the per-domain signal the adaptive control
+    /// plane steers toward its target.
+    pub mean_stale_answer_fraction: f64,
     /// Mean network-wide false negatives per lookup.
     pub mean_false_negatives: f64,
     /// Mean messages per lookup.
@@ -272,6 +291,17 @@ pub struct MultiDomainReport {
     /// Per-lookup `(virtual time in seconds, recall)` samples, in query
     /// order — the raw series behind recall-over-time analyses.
     pub samples: Vec<(f64, f64)>,
+    /// Final effective α of every non-dissolved domain — the converged
+    /// α distribution under the adaptive policy, a constant vector
+    /// under the fixed one.
+    pub final_alphas: Vec<f64>,
+    /// Mean of [`MultiDomainReport::final_alphas`] (the configured α
+    /// when no domain survived).
+    pub mean_final_alpha: f64,
+    /// Per-domain-slot `(virtual seconds, α)` controller trajectories,
+    /// indexed by domain slot (dissolved slots keep the trajectory they
+    /// had at dissolution time).
+    pub alpha_trajectories: Vec<Vec<(f64, f64)>>,
 }
 
 impl MultiDomainReport {
@@ -298,6 +328,21 @@ impl MultiDomainReport {
             queries: outcomes.len(),
             mean_recall: mean(&|o| o.recall()),
             mean_stale_answers: mean(&|o| o.stale_answers as f64),
+            mean_stale_answer_fraction: {
+                let (sum, cnt) = outcomes.iter().fold((0.0f64, 0usize), |(s, c), (_, o)| {
+                    let total = o.stale_answers + o.summary_results;
+                    if total == 0 {
+                        (s, c)
+                    } else {
+                        (s + o.stale_answers as f64 / total as f64, c + 1)
+                    }
+                });
+                if cnt == 0 {
+                    0.0
+                } else {
+                    sum / cnt as f64
+                }
+            },
             mean_false_negatives: mean(&|o| o.false_negatives() as f64),
             mean_messages: mean(&|o| o.messages as f64),
             mean_domains_visited: mean(&|o| o.domains_visited as f64),
@@ -323,6 +368,9 @@ impl MultiDomainReport {
                 .iter()
                 .map(|(t, o)| (t.as_secs_f64(), o.recall()))
                 .collect(),
+            final_alphas: Vec::new(),
+            mean_final_alpha: cfg.alpha,
+            alpha_trajectories: Vec::new(),
         }
     }
 

@@ -266,6 +266,10 @@ pub struct DomainCore {
     pub acc: GsAccumulator,
     /// Reconciliation rounds completed.
     pub reconciliations: u64,
+    /// Cumulative delta payload bytes this domain's pulls have shipped
+    /// — the per-domain reconciliation cost signal the control plane
+    /// ([`crate::control`]) differences per epoch.
+    pub delta_bytes_total: u64,
     /// Encoded GS size after the last rebuild.
     pub gs_bytes_last: usize,
     /// Long-range links to other summary peers (§5.2.2's `k`-degree
@@ -287,6 +291,7 @@ impl DomainCore {
             gs: empty_gs(),
             acc: empty_accumulator(),
             reconciliations: 0,
+            delta_bytes_total: 0,
             gs_bytes_last: 0,
             long_links: Vec::new(),
             dissolved: false,
@@ -458,6 +463,7 @@ impl DomainCore {
         self.store_merged();
         self.cl.reconcile(|p| peer_up(peers, p));
         ledger.count_reconcile_work(work);
+        self.delta_bytes_total += work.delta_bytes;
         self.reconciliations += 1;
         Ok(work)
     }
@@ -532,7 +538,7 @@ impl DomainCore {
         gathered: &[SummarySnapshot],
         peers: &mut [Option<PeerState>],
         ledger: &mut MessageLedger,
-    ) -> Result<(), P2pError> {
+    ) -> Result<ReconcileWork, P2pError> {
         let mut work = ReconcileWork::default();
         let visited: std::collections::BTreeSet<NodeId> = gathered.iter().map(|s| s.peer).collect();
         for snap in gathered {
@@ -571,8 +577,9 @@ impl DomainCore {
         let cl = &self.cl;
         self.members.retain(|&m| cl.contains(m));
         ledger.count_reconcile_work(work);
+        self.delta_bytes_total += work.delta_bytes;
         self.reconciliations += 1;
-        Ok(())
+        Ok(work)
     }
 
     /// A member rejoins: ships its `localsum` and awaits the next pull

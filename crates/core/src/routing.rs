@@ -141,6 +141,10 @@ pub(crate) struct LookupConversation {
     /// Summary-selected peers that turned out down or drifted —
     /// including those that churned out while the answer was in flight.
     pub stale_answers: usize,
+    /// Summary-selected peers whose answers validated on arrival (the
+    /// success side of `stale_answers`; cache-recovered answers are
+    /// not counted here).
+    pub summary_ok: usize,
     /// Messages attributed to this lookup.
     pub messages: u64,
     /// Outstanding scheduled deliveries of this conversation.
@@ -168,6 +172,7 @@ impl LookupConversation {
             seen_domains: BTreeSet::new(),
             visited_domains: 0,
             stale_answers: 0,
+            summary_ok: 0,
             messages: 0,
             branches: 0,
             done: false,
@@ -189,6 +194,7 @@ impl LookupConversation {
             messages: self.messages,
             satisfied: self.answered.len() >= self.need.min(self.results_total),
             stale_answers: self.stale_answers,
+            summary_results: self.summary_ok,
             time_to_answer_s: finished.saturating_sub(self.started).as_secs_f64(),
         }
     }

@@ -17,6 +17,7 @@ use saintetiq::wire;
 
 use crate::baselines;
 use crate::config::{DeliveryMode, LatencyConfig, SimConfig};
+use crate::control::ControlPolicy;
 use crate::costmodel;
 use crate::domain::DomainSim;
 use crate::error::P2pError;
@@ -346,6 +347,96 @@ pub fn figure_latency_sweep(
     Ok(out)
 }
 
+/// One point of the adaptive-α frontier experiment
+/// ([`figure_alpha_adaptive`]): one full dynamic multi-domain run at a
+/// fixed α, or under the adaptive control plane.
+#[derive(Debug, Clone)]
+pub struct AlphaAdaptivePoint {
+    /// Row label: `fixed-0.30`-style, or `adaptive`.
+    pub label: String,
+    /// The pinned α (`None` for the adaptive row).
+    pub fixed_alpha: Option<f64>,
+    /// Network-wide mean stale-answer fraction over the lookups.
+    pub stale_answer_fraction: f64,
+    /// Mean network-wide recall.
+    pub mean_recall: f64,
+    /// Reconciliation delta payload bytes spent over the run — the
+    /// bandwidth side of the staleness/bandwidth frontier.
+    pub reconcile_delta_bytes: u64,
+    /// Reconciliation rounds across all domains.
+    pub reconciliations: u64,
+    /// Mean final effective α across surviving domains.
+    pub mean_final_alpha: f64,
+    /// The converged per-domain α distribution.
+    pub final_alphas: Vec<f64>,
+    /// Full report for deeper inspection.
+    pub report: MultiDomainReport,
+}
+
+impl AlphaAdaptivePoint {
+    fn from_report(label: String, fixed_alpha: Option<f64>, report: MultiDomainReport) -> Self {
+        Self {
+            label,
+            fixed_alpha,
+            stale_answer_fraction: report.mean_stale_answer_fraction,
+            mean_recall: report.mean_recall,
+            reconcile_delta_bytes: report.reconcile_delta_bytes,
+            reconciliations: report.reconciliations,
+            mean_final_alpha: report.mean_final_alpha,
+            final_alphas: report.final_alphas.clone(),
+            report,
+        }
+    }
+}
+
+/// Gives the configuration a heterogeneous per-domain drift profile:
+/// domains drift at log-spaced rates in `[1/spread, spread]` — the
+/// scenario axis on which a single global α cannot sit right for every
+/// domain, so per-domain adaptation has something to find.
+pub fn with_heterogeneous_drift(cfg: &SimConfig, spread: f64) -> SimConfig {
+    let mut out = *cfg;
+    out.drift_spread = spread;
+    out
+}
+
+/// The staleness/bandwidth frontier: the same heterogeneous-drift
+/// dynamic multi-domain run once per fixed α, then once under
+/// [`ControlPolicy::Adaptive`]. Fixed rows trace the frontier a single
+/// global threshold can reach; the adaptive row shows where per-domain
+/// feedback control lands — holding the network-wide stale-answer
+/// fraction near the policy's target while spending no more pull
+/// bandwidth than the cheapest fixed α of comparable staleness
+/// (`BENCH_alpha.json` reports the comparison).
+pub fn figure_alpha_adaptive(
+    fixed_alphas: &[f64],
+    adaptive: ControlPolicy,
+    base: &SimConfig,
+    domain_target: usize,
+    target: LookupTarget,
+) -> Result<Vec<AlphaAdaptivePoint>, P2pError> {
+    let mut out = Vec::new();
+    for &alpha in fixed_alphas {
+        let mut cfg = *base;
+        cfg.alpha = alpha;
+        cfg.control = None;
+        let report = MultiDomainSim::new(cfg, domain_target, target)?.run();
+        out.push(AlphaAdaptivePoint::from_report(
+            format!("fixed-{alpha:.2}"),
+            Some(alpha),
+            report,
+        ));
+    }
+    let mut cfg = *base;
+    cfg.control = Some(adaptive);
+    let report = MultiDomainSim::new(cfg, domain_target, target)?.run();
+    out.push(AlphaAdaptivePoint::from_report(
+        "adaptive".into(),
+        None,
+        report,
+    ));
+    Ok(out)
+}
+
 /// One point of the full-vs-incremental reconciliation cost sweep
 /// ([`reconcile_cost_sweep`]): a single α-gated pull over a domain of
 /// `n` members of which `stale_members` drifted, measured both ways.
@@ -555,6 +646,38 @@ mod tests {
         for r in &rows {
             assert!(r.report.queries > 0);
             assert!((0.0..=1.0 + 1e-12).contains(&r.mean_recall), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn alpha_adaptive_rows_cover_fixed_and_adaptive() {
+        let mut base = quick_base();
+        base.n_peers = 120;
+        base.query_count = 40;
+        let base = with_heterogeneous_drift(&base, 4.0);
+        let rows = figure_alpha_adaptive(
+            &[0.2, 0.6],
+            ControlPolicy::adaptive_default(0.2),
+            &base,
+            20,
+            LookupTarget::Total,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].label, "adaptive");
+        assert!(rows[2].fixed_alpha.is_none());
+        // Fixed rows never move off their pinned threshold; the
+        // adaptive row stays inside the policy bounds.
+        assert!(rows[0].final_alphas.iter().all(|&a| a == 0.2));
+        assert!(rows[1].final_alphas.iter().all(|&a| a == 0.6));
+        assert!(!rows[2].final_alphas.is_empty());
+        assert!(rows[2]
+            .final_alphas
+            .iter()
+            .all(|&a| (0.05..=0.9).contains(&a)));
+        for r in &rows {
+            assert!((0.0..=1.0 + 1e-12).contains(&r.stale_answer_fraction));
+            assert!(r.report.queries > 0);
         }
     }
 

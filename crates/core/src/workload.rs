@@ -75,6 +75,57 @@ pub fn background_distributions() -> PatientDistributions {
     }
 }
 
+/// Zipf-distributed template popularity: rank `i` (0-based) is drawn
+/// with probability ∝ `1/(i+1)^s`. With `s = 0` every template is
+/// equally popular (the round-robin schedule's stationary distribution);
+/// growing `s` concentrates the workload on the first templates — the
+/// skew real P2P query logs show and the answer caches / group locality
+/// of §5.2.2 exploit.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities per rank; the last entry is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// When `n == 0` or `s` is not finite and non-negative (guarded
+    /// upstream by `SimConfig::validate`).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over an empty rank set");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent {s} invalid");
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let mut cdf: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        // Guard the tail against accumulated rounding.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf }
+    }
+
+    /// Draws one rank in `0..n` from the vendored deterministic RNG.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// The probability of rank `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf[i] - lo
+    }
+}
+
 /// One peer's generated state: its database-derived artifacts.
 #[derive(Debug, Clone)]
 pub struct PeerData {
@@ -241,6 +292,39 @@ mod tests {
             assert_eq!(pd.match_bits, 0);
         }
         Ok(())
+    }
+
+    #[test]
+    fn zipf_sampler_matches_the_law() {
+        let z = ZipfSampler::new(3, 1.0);
+        // Weights 1, 1/2, 1/3 → probabilities 6/11, 3/11, 2/11.
+        assert!((z.probability(0) - 6.0 / 11.0).abs() < 1e-12);
+        assert!((z.probability(1) - 3.0 / 11.0).abs() < 1e-12);
+        assert!((z.probability(2) - 2.0 / 11.0).abs() < 1e-12);
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / n as f64;
+            assert!(
+                (rate - z.probability(i)).abs() < 0.02,
+                "rank {i}: {rate} vs {}",
+                z.probability(i)
+            );
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(3, 0.0);
+        for i in 0..3 {
+            assert!((z.probability(i) - 1.0 / 3.0).abs() < 1e-12);
+        }
     }
 
     #[test]
