@@ -29,9 +29,21 @@
 //! within ±20% of its target while spending no more reconciliation
 //! delta bytes than the best fixed α of comparable staleness.
 //!
+//! With `--rebirth` the binary runs the long-horizon SP-churn
+//! stationarity experiment instead (`scenario::figure_rebirth`): the
+//! same network once with terminal §4.3 dissolutions (departed summary
+//! peers never return — the live-domain count decays monotonically)
+//! and once with SP rebirth enabled (each dissolved domain re-elects a
+//! replacement SP from its own live hubs, latency-aware on the message
+//! plane), and writes `BENCH_rebirth.json` — the live-domain-count
+//! trajectory, rebirth counts, and whether the time-weighted mean
+//! domain count stayed within ±10% of its initial value.
+//!
 //! With `--zipf` the workload draws query templates from a Zipf(1.2)
 //! popularity distribution instead of round-robin. Both `--zipf` and
-//! `--latency` compose with the churn table and with `--adaptive`.
+//! `--latency` compose with the churn table and with `--adaptive` /
+//! `--rebirth`. Run with `--help` for the full flag ↔ BENCH-artifact
+//! map.
 //!
 //! Reading: at the paper's α, reconciliation frequency adapts to the
 //! churn rate and recall stays in the α-band; with a lax α the pull
@@ -44,8 +56,8 @@ use summary_p2p::config::SimConfig;
 use summary_p2p::control::ControlPolicy;
 use summary_p2p::kernel::LookupTarget;
 use summary_p2p::scenario::{
-    figure_alpha_adaptive, figure_latency_sweep, figure_multidomain_churn, reconcile_cost_sweep,
-    with_heterogeneous_drift, with_latency,
+    figure_alpha_adaptive, figure_latency_sweep, figure_multidomain_churn, figure_rebirth,
+    reconcile_cost_sweep, with_heterogeneous_drift, with_latency,
 };
 
 use sumq_bench::{f1, f4, render_csv, render_table, Cli};
@@ -58,6 +70,10 @@ fn main() {
     }
     if cli.adaptive {
         write_alpha_summary(&cli);
+        return;
+    }
+    if cli.rebirth {
+        write_rebirth_summary(&cli);
         return;
     }
     let n = if cli.quick { 300 } else { 1500 };
@@ -311,6 +327,118 @@ fn write_alpha_summary(cli: &Cli) {
     eprintln!(
         "wrote BENCH_alpha.json (stale_within_band: {stale_within_band}, \
          bytes_within_best_fixed: {bytes_within_best_fixed})"
+    );
+}
+
+/// Runs the long-horizon SP-churn stationarity experiment — terminal
+/// dissolutions vs latency-aware SP rebirth — and writes
+/// `BENCH_rebirth.json`: both rows, the rebirth run's live-domain
+/// trajectory, and the ±10% stationarity check on the time-weighted
+/// mean live-domain count.
+fn write_rebirth_summary(cli: &Cli) {
+    let n = if cli.quick { 300 } else { 1500 };
+    let horizon_h = if cli.quick { 12 } else { 24 };
+    let sp_mean_s = if cli.quick {
+        2.0 * 3600.0
+    } else {
+        4.0 * 3600.0
+    };
+    let mut base = SimConfig::paper_defaults(n, 0.3);
+    base.seed = cli.seed;
+    base.records_per_peer = 16;
+    base.query_count = if cli.quick { 60 } else { 200 };
+    base.horizon = SimTime::from_hours(horizon_h);
+    if cli.latency {
+        base = with_latency(&base, SimTime::from_millis(50));
+    }
+    if cli.zipf {
+        base.zipf_exponent = Some(1.2);
+    }
+    eprintln!(
+        "sp-rebirth stationarity: {n} peers in ~{} domains over {horizon_h} h, \
+         SP mean lifetime {:.0} h, rebirth off vs on{} ...",
+        n / 50,
+        sp_mean_s / 3600.0,
+        if cli.latency {
+            ", latency plane on"
+        } else {
+            ""
+        }
+    );
+    let points = figure_rebirth(&base, sp_mean_s, 50, LookupTarget::Total).expect("valid config");
+
+    let headers = [
+        "rebirth",
+        "initial_domains",
+        "final_domains",
+        "min_domains",
+        "mean_domains",
+        "rebirths",
+        "recall",
+        "stale_answers",
+        "reconciliations",
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.rebirth.to_string(),
+                p.initial_domains.to_string(),
+                p.final_domains.to_string(),
+                p.min_live_domains.to_string(),
+                f1(p.mean_live_domains),
+                p.rebirths.to_string(),
+                f4(p.mean_recall),
+                f4(p.mean_stale_answers),
+                p.reconciliations.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    println!("{}", render_csv(&headers, &rows));
+
+    let off = &points[0];
+    let on = &points[1];
+    let initial = on.initial_domains as f64;
+    let stationary_within_10pct =
+        initial > 0.0 && (on.mean_live_domains - initial).abs() <= 0.1 * initial;
+    let trajectory = on
+        .report
+        .domain_count_trajectory
+        .iter()
+        .map(|(t, n)| format!("[{t:.1}, {n}]"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"sp_rebirth\",\n  \"n_peers\": {},\n  \"seed\": {},\n  \
+         \"horizon_h\": {},\n  \"sp_mean_lifetime_s\": {:.0},\n  \
+         \"initial_domains\": {},\n  \"off_final_domains\": {},\n  \
+         \"off_mean_live_domains\": {:.3},\n  \"on_final_domains\": {},\n  \
+         \"on_min_live_domains\": {},\n  \"on_mean_live_domains\": {:.3},\n  \
+         \"rebirths\": {},\n  \"stationary_within_10pct\": {},\n  \
+         \"off_mean_recall\": {:.6},\n  \"on_mean_recall\": {:.6},\n  \
+         \"on_domain_count_trajectory\": [{}]\n}}\n",
+        n,
+        cli.seed,
+        horizon_h,
+        sp_mean_s,
+        on.initial_domains,
+        off.final_domains,
+        off.mean_live_domains,
+        on.final_domains,
+        on.min_live_domains,
+        on.mean_live_domains,
+        on.rebirths,
+        stationary_within_10pct,
+        off.mean_recall,
+        on.mean_recall,
+        trajectory
+    );
+    fs::write("BENCH_rebirth.json", &json).expect("write BENCH_rebirth.json");
+    eprintln!(
+        "wrote BENCH_rebirth.json (rebirths: {}, stationary_within_10pct: \
+         {stationary_within_10pct}, off decayed to {}/{} domains)",
+        on.rebirths, off.final_domains, off.initial_domains
     );
 }
 

@@ -30,6 +30,10 @@ pub struct Cli {
     /// Zipf workload (`--zipf`): draw query templates from a Zipf(1.2)
     /// popularity distribution instead of round-robin.
     pub zipf: bool,
+    /// SP-rebirth mode (`--rebirth`, `multidomain_churn` only): run
+    /// the long-horizon SP-churn stationarity experiment (rebirth off
+    /// vs on) and emit `BENCH_rebirth.json` instead of the churn table.
+    pub rebirth: bool,
 }
 
 impl Cli {
@@ -42,6 +46,7 @@ impl Cli {
             reconcile: false,
             adaptive: false,
             zipf: false,
+            rebirth: false,
         };
         let mut args = env::args().skip(1);
         while let Some(a) = args.next() {
@@ -59,6 +64,7 @@ impl Cli {
                 "--reconcile" => cli.reconcile = true,
                 "--adaptive" => cli.adaptive = true,
                 "--zipf" => cli.zipf = true,
+                "--rebirth" => cli.rebirth = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag `{other}`")),
             }
@@ -90,11 +96,53 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!(
-        "usage: <fig binary> [--seed N] [--quick] [--latency] [--reconcile] [--adaptive] [--zipf]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
+
+/// The shared usage text of the `sumq-bench` binaries. Every flag is
+/// accepted by every binary; the mode flags only change behaviour in
+/// `multidomain_churn`, where each selects one experiment and one
+/// `BENCH_*.json` artifact.
+pub const USAGE: &str = "\
+usage: <fig binary> [--seed N] [--quick] [--latency] [--zipf]
+                    [--reconcile | --adaptive | --rebirth]
+
+Common options
+  --seed N      master seed for every stochastic choice (default 42);
+                runs are deterministic per seed in both delivery modes
+  --quick       reduced grids / smaller networks for CI-speed runs
+  -h, --help    this text
+
+Workload / delivery modifiers (compose with any mode)
+  --latency     enable the latency message plane: every push, token,
+                query and flood rides a virtual-time delivery event
+                costed from topology link latencies + wire size; in
+                multidomain_churn the churn table gains a
+                time-to-answer column and a hop-latency sweep is
+                written to BENCH_latency.json
+  --zipf        draw query templates from a Zipf(1.2) popularity law
+                instead of round-robin
+
+multidomain_churn modes (mutually exclusive; default: churn table)
+  (none)        inter-domain lookups under churn, swept over churn
+                intensity at two freshness thresholds; with --latency
+                also emits BENCH_latency.json
+  --reconcile   full-scratch vs incremental GS maintenance sweep;
+                emits BENCH_reconcile.json
+  --adaptive    fixed-alpha frontier vs the per-domain adaptive-alpha
+                control plane on a heterogeneous-drift network;
+                emits BENCH_alpha.json
+  --rebirth     long-horizon SP-churn stationarity: terminal
+                dissolutions (rebirth off) vs latency-aware SP
+                re-election (rebirth on); emits BENCH_rebirth.json
+
+BENCH artifacts (written to the working directory)
+  BENCH_latency.json    mean time-to-answer, peak in-flight, hop sweep
+  BENCH_reconcile.json  per-round merge work, incremental vs oracle
+  BENCH_alpha.json      staleness/bandwidth frontier, adaptive vs fixed
+  BENCH_rebirth.json    live-domain trajectory, rebirth counts, the
+                        ±10% stationarity check";
 
 /// Renders an aligned text table: a header row plus data rows.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -188,6 +236,7 @@ mod tests {
             reconcile: false,
             adaptive: false,
             zipf: false,
+            rebirth: false,
         };
         assert_eq!(cli.domain_sizes().first(), Some(&16));
         assert_eq!(cli.domain_sizes().last(), Some(&5000));
@@ -198,6 +247,7 @@ mod tests {
             reconcile: false,
             adaptive: false,
             zipf: false,
+            rebirth: false,
         };
         assert!(quick.domain_sizes().len() < cli.domain_sizes().len());
     }

@@ -13,6 +13,31 @@
 //! node per 20 minutes, after Yang & Garcia-Molina \[5\]), TTL 3 for the
 //! flooding baseline, and `k = 3.5` long-range links between summary peers
 //! in the inter-domain cost term.
+//!
+//! ## Defaults and determinism
+//!
+//! [`SimConfig::paper_defaults`] reproduces Table 3 at a given domain
+//! size and α: lognormal lifetimes (mean 3 h / median 1 h), 30 min
+//! mean downtime, 30 % silent failures, 200 queries over a 12 h
+//! horizon, 10 % match fraction, `flood_ttl` 3, `interdomain_k` 3.5,
+//! `sumpeer_ttl` 2, `topology_m` 2, seed 42 — and every *optional*
+//! subsystem off:
+//!
+//! | knob | default | when enabled |
+//! |---|---|---|
+//! | [`SimConfig::delivery`] | [`DeliveryMode::Instantaneous`] | [`DeliveryMode::Latency`] schedules every message as a virtual-time delivery event |
+//! | [`SimConfig::sp_lifetime`] | `None` (immortal SPs) | `Some(dist)` schedules §4.3 SP departures |
+//! | [`SimConfig::rebirth`] | `false` (terminal dissolutions) | `true` re-elects a replacement SP per dissolved domain |
+//! | [`SimConfig::control`] | `None` ⇒ fixed α | `Adaptive { .. }` runs the per-domain feedback control plane |
+//! | [`SimConfig::drift_spread`] | `1.0` (homogeneous) | `> 1` gives domains log-spaced drift rates |
+//! | [`SimConfig::zipf_exponent`] | `None` (round-robin) | `Some(s)` draws templates from a Zipf(s) law |
+//!
+//! The determinism contract: every run is reproducible per
+//! [`SimConfig::seed`] in both delivery modes, and each disabled
+//! subsystem schedules **no** events and draws **no** randomness — so
+//! turning one on never perturbs the event/RNG streams of
+//! configurations that leave it off. The seed figure pipelines (and
+//! the byte-identity tests) depend on this.
 
 use p2psim::churn::LifetimeDistribution;
 use p2psim::time::SimTime;
@@ -139,6 +164,21 @@ pub struct SimConfig {
     /// immortal; `Some(dist)` schedules one departure per SP from the
     /// distribution, mid-run (§4.3's release + re-home protocol).
     pub sp_lifetime: Option<LifetimeDistribution>,
+    /// Summary-peer *rebirth* (§4.3 completed): `true` re-elects a
+    /// replacement SP from a dissolved domain's live hub candidates —
+    /// latency-aware on the message plane
+    /// ([`crate::construction::ElectionPolicy::LatencyAware`]), by
+    /// degree order in instantaneous mode — re-homes the orphaned
+    /// partners to the newborn SP, and seeds its global summary from
+    /// the retained member descriptions so the first pull is a delta,
+    /// not a from-scratch rebuild. `false` (the default) keeps today's
+    /// terminal dissolution: departed SPs never return, domain counts
+    /// decay monotonically, and — critically — the kernel schedules no
+    /// election/takeover events and draws no extra randomness, so
+    /// event and RNG streams stay byte-identical to the pre-rebirth
+    /// binaries in both delivery modes. Only meaningful together with
+    /// [`SimConfig::sp_lifetime`].
+    pub rebirth: bool,
     /// How the per-domain effective α is chosen. `None` (the default)
     /// resolves to [`ControlPolicy::Fixed`] at [`SimConfig::alpha`] —
     /// today's single-threshold behavior, byte-identical event and RNG
@@ -205,6 +245,7 @@ impl SimConfig {
             topology_m: 2,
             delivery: DeliveryMode::Instantaneous,
             sp_lifetime: None,
+            rebirth: false,
             control: None,
             drift_spread: 1.0,
             zipf_exponent: None,
@@ -457,6 +498,7 @@ mod tests {
         assert_eq!(c.delivery, DeliveryMode::Instantaneous);
         assert!(c.latency().is_none());
         assert!(c.sp_lifetime.is_none());
+        assert!(!c.rebirth, "SP rebirth is opt-in");
     }
 
     #[test]

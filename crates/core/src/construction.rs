@@ -13,6 +13,16 @@
 //! When an SP departs gracefully it `release`s its partners, who each
 //! walk to a new SP; when it fails, partners discover the failure on
 //! their next push/query attempt and then walk.
+//!
+//! With [`crate::config::SimConfig::rebirth`] enabled the story does
+//! not end there: the dissolved domain *re-elects* a replacement SP
+//! from its live hub candidates ([`elect_replacement_sp`]) — by degree
+//! order in instantaneous mode, or minimizing the expected partner
+//! round-trip on the candidate's broadcast tree when the latency
+//! message plane prices hops ([`ElectionPolicy::LatencyAware`]) — and
+//! the orphans re-home to the newborn SP instead of scattering across
+//! surviving domains. The kernel drives the election/takeover events;
+//! this module holds the topology-level mechanics.
 
 use p2psim::network::{MessageClass, Network, NodeId};
 use p2psim::time::SimTime;
@@ -178,6 +188,39 @@ pub fn construct_domains(net: &mut Network, superpeers: &[NodeId], ttl: u32) -> 
     }
 }
 
+/// The dissolution half of a §4.3 summary-peer departure: takes the SP
+/// down, counts the control traffic — `release` to every partner when
+/// graceful, one wasted (timed-out) push per partner discovering the
+/// failure otherwise — removes the SP from the superpeer roster and
+/// orphans its members (assignment cleared, broadcast distance
+/// forgotten). Returns the orphaned members. [`handle_sp_departure`]
+/// follows this with selective walks to surviving domains; the rebirth
+/// path instead hands the orphans to a freshly elected replacement SP.
+pub fn dissolve_domain(
+    net: &mut Network,
+    domains: &mut Domains,
+    sp: NodeId,
+    graceful: bool,
+) -> Vec<NodeId> {
+    let members = domains.members(sp);
+    net.take_down(sp);
+    if graceful {
+        net.count_messages(MessageClass::Control, members.len() as u64); // release
+    } else {
+        // Failure detection: a wasted push/query attempt per partner.
+        net.count_messages(MessageClass::Push, members.len() as u64);
+    }
+    domains.superpeers.retain(|&s| s != sp);
+    for &p in &members {
+        domains.assignment[p.index()] = None;
+        // The broadcast-tree latency was measured to the departed SP;
+        // whatever domain the peer lands in next, the path latency is
+        // unknown until a new broadcast measures it.
+        domains.distance[p.index()] = u64::MAX - 1;
+    }
+    members
+}
+
 /// Handles a summary peer departure (§4.3). Graceful: the SP sends
 /// `release` to every partner; failed: each partner pays one extra
 /// (timed-out) message discovering the failure. Every orphaned partner
@@ -188,27 +231,10 @@ pub fn handle_sp_departure(
     sp: NodeId,
     graceful: bool,
 ) -> usize {
-    let members = domains.members(sp);
-    net.take_down(sp);
-    if graceful {
-        net.count_messages(MessageClass::Control, members.len() as u64); // release
-    } else {
-        // Failure detection: a wasted push/query attempt per partner.
-        net.count_messages(MessageClass::Push, members.len() as u64);
-    }
-    let remaining: Vec<NodeId> = domains
-        .superpeers
-        .iter()
-        .copied()
-        .filter(|&s| s != sp)
-        .collect();
-    domains.superpeers = remaining.clone();
+    let members = dissolve_domain(net, domains, sp, graceful);
+    let remaining = domains.superpeers.clone();
     let mut rehomed = 0;
     for p in members {
-        domains.assignment[p.index()] = None;
-        // The broadcast-tree latency was measured to the departed SP;
-        // whatever domain the walk finds, the path latency is unknown.
-        domains.distance[p.index()] = u64::MAX - 1;
         if !net.is_up(p) {
             continue;
         }
@@ -233,6 +259,133 @@ pub fn handle_sp_departure(
         }
     }
     rehomed
+}
+
+/// How many of the highest-degree live members stand as candidates in
+/// a rebirth election — the construction-time ultrapeer criterion
+/// (hubs must afford the SP load) applied to the dissolved domain's
+/// own membership, and a bound on the latency-scoring work.
+pub const REBIRTH_CANDIDATES: usize = 8;
+
+/// How a replacement summary peer is chosen when a dissolved domain is
+/// reborn (§4.3 completed; the ROADMAP's "latency-aware SP election").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElectionPolicy {
+    /// The highest-degree live candidate, ties broken by lowest node
+    /// id — the same ultrapeer criterion [`elect_superpeers`] applies
+    /// at construction time, and the instantaneous-mode fallback
+    /// (without a message plane there are no link costs to weigh).
+    Degree,
+    /// Among the [`REBIRTH_CANDIDATES`] highest-degree live members,
+    /// the one minimizing the expected partner round-trip on its
+    /// `sumpeer` broadcast tree: each partner's one-way cost is the
+    /// accumulated link latency along its BFS discovery path within
+    /// `ttl` hops, and partners out of broadcast reach are priced at
+    /// the message plane's `default_hop` (they would re-home via a
+    /// selective walk whose path latency is unknown). Ties broken by
+    /// lowest node id. Deterministic: no randomness is drawn.
+    LatencyAware {
+        /// TTL of the candidate's `sumpeer` broadcast (the
+        /// construction TTL, §4.1's example: 2).
+        ttl: u32,
+        /// One-way price of a partner the broadcast does not reach.
+        default_hop: SimTime,
+    },
+}
+
+/// Minimum accumulated broadcast-tree latency (µs) from `origin` to
+/// every node within `ttl` BFS hops, over live nodes only — the same
+/// tree [`construct_domains`] prices partnerships with.
+fn broadcast_distances(net: &Network, origin: NodeId, ttl: u32) -> Vec<Option<u64>> {
+    let n = net.len();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    dist[origin.index()] = Some(0);
+    let mut frontier = vec![origin];
+    for _ in 0..ttl {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            let du = dist[u.index()].expect("frontier has distance");
+            let nbrs: Vec<(NodeId, SimTime)> = net
+                .graph()
+                .neighbors(u)
+                .iter()
+                .map(|e| (e.node, e.latency))
+                .collect();
+            for (v, lat) in nbrs {
+                if !net.is_up(v) {
+                    continue;
+                }
+                let dv = du + lat.0;
+                if dist[v.index()].map(|old| dv < old).unwrap_or(true) {
+                    dist[v.index()] = Some(dv);
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Elects the replacement SP for a reborn domain from `live_members`
+/// (the dissolved domain's members that are still connected), serving
+/// `partners` (normally the same set). Returns `None` when no live
+/// candidate exists — the domain then stays dissolved and its members
+/// walk to surviving domains as they rejoin.
+pub fn elect_replacement_sp(
+    net: &Network,
+    live_members: &[NodeId],
+    partners: &[NodeId],
+    policy: ElectionPolicy,
+) -> Option<NodeId> {
+    let mut hubs: Vec<NodeId> = live_members
+        .iter()
+        .copied()
+        .filter(|&m| net.is_up(m))
+        .collect();
+    // Highest degree first, ties by lowest id — deterministic.
+    hubs.sort_by_key(|&m| (std::cmp::Reverse(net.graph().degree(m)), m.0));
+    match policy {
+        ElectionPolicy::Degree => hubs.first().copied(),
+        ElectionPolicy::LatencyAware { ttl, default_hop } => {
+            hubs.truncate(REBIRTH_CANDIDATES);
+            hubs.iter()
+                .copied()
+                .map(|c| {
+                    let dist = broadcast_distances(net, c, ttl);
+                    let rtt_sum: u64 = partners
+                        .iter()
+                        .filter(|&&p| p != c)
+                        .map(|&p| 2 * dist[p.index()].unwrap_or(default_hop.0))
+                        .sum();
+                    (rtt_sum, c)
+                })
+                .min_by_key(|&(rtt, c)| (rtt, c.0))
+                .map(|(_, c)| c)
+        }
+    }
+}
+
+/// The newborn SP's takeover broadcast: `sumpeer` floods over `ttl`
+/// hops (counted as construction traffic, like the initial §4.1
+/// broadcast) and the broadcast-tree latencies become the re-homed
+/// partners' distances. Registers `new_sp` in the superpeer roster and
+/// returns the per-node tree distance so the caller can re-assign the
+/// orphans (partners out of reach keep an unknown distance).
+pub fn rebirth_broadcast(
+    net: &mut Network,
+    domains: &mut Domains,
+    new_sp: NodeId,
+    ttl: u32,
+) -> Vec<Option<u64>> {
+    let msgs = net.flood_message_count(new_sp, ttl);
+    net.count_messages(MessageClass::Construction, msgs);
+    if !domains.superpeers.contains(&new_sp) {
+        domains.superpeers.push(new_sp);
+    }
+    domains.assignment[new_sp.index()] = None;
+    domains.distance[new_sp.index()] = u64::MAX;
+    broadcast_distances(net, new_sp, ttl)
 }
 
 #[cfg(test)]
@@ -339,6 +492,91 @@ mod tests {
         assert!(!domains.superpeers.contains(&sp));
         // Nobody points at the departed SP anymore.
         assert!(domains.assignment.iter().all(|a| *a != Some(sp)));
+    }
+
+    #[test]
+    fn degree_election_prefers_hubs_with_id_tiebreak() {
+        // Star with an extra edge: node 0 is the hub.
+        let mut g = Graph::star(6, SimTime::from_millis(1));
+        g.add_edge(NodeId(3), NodeId(4), SimTime::from_millis(1));
+        let n = Network::new(g);
+        let members: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let sp = elect_replacement_sp(&n, &members, &members, ElectionPolicy::Degree);
+        assert_eq!(sp, Some(NodeId(0)), "the hub wins on degree");
+        // Without the hub, 3 and 4 tie at degree 2: lowest id wins.
+        let rest: Vec<NodeId> = (1..6).map(NodeId).collect();
+        let sp = elect_replacement_sp(&n, &rest, &rest, ElectionPolicy::Degree);
+        assert_eq!(sp, Some(NodeId(3)), "ties break by lowest id");
+    }
+
+    #[test]
+    fn latency_election_minimizes_partner_round_trip() {
+        // Line 0 - 1 - 2 - 3 - 4 with 1 ms links: every node has
+        // degree ≤ 2, and the center (2) minimizes the summed
+        // broadcast-tree round-trip to the rest.
+        let mut g = Graph::empty(5);
+        for i in 0..4u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), SimTime::from_millis(1));
+        }
+        let n = Network::new(g);
+        let members: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let sp = elect_replacement_sp(
+            &n,
+            &members,
+            &members,
+            ElectionPolicy::LatencyAware {
+                ttl: 2,
+                default_hop: SimTime::from_millis(50),
+            },
+        );
+        assert_eq!(sp, Some(NodeId(2)), "the center minimizes expected RTT");
+        // Degree order alone cannot tell 1, 2, 3 apart and falls back
+        // to the lowest id — the latency-aware policy does better.
+        let by_degree = elect_replacement_sp(&n, &members, &members, ElectionPolicy::Degree);
+        assert_eq!(by_degree, Some(NodeId(1)));
+    }
+
+    #[test]
+    fn election_ignores_down_members_and_may_abstain() {
+        let mut net = net(50, 9);
+        let members: Vec<NodeId> = (0..10).map(NodeId).collect();
+        for &m in &members {
+            net.take_down(m);
+        }
+        assert_eq!(
+            elect_replacement_sp(&net, &members, &members, ElectionPolicy::Degree),
+            None,
+            "no live candidate, no rebirth"
+        );
+        net.bring_up(NodeId(7));
+        assert_eq!(
+            elect_replacement_sp(&net, &members, &members, ElectionPolicy::Degree),
+            Some(NodeId(7))
+        );
+    }
+
+    #[test]
+    fn dissolve_then_rebirth_broadcast_reassigns_the_roster() {
+        let mut n = net(200, 6);
+        let sps = elect_superpeers(&n, 4);
+        let mut domains = construct_domains(&mut n, &sps, 2);
+        let sp = sps[0];
+        let members = domains.members(sp);
+        assert!(!members.is_empty());
+        let orphans = dissolve_domain(&mut n, &mut domains, sp, true);
+        assert_eq!(orphans, members);
+        assert!(!domains.superpeers.contains(&sp));
+        assert!(domains.assignment.iter().all(|a| *a != Some(sp)));
+
+        let live: Vec<NodeId> = orphans.iter().copied().filter(|&m| n.is_up(m)).collect();
+        let ns = elect_replacement_sp(&n, &live, &live, ElectionPolicy::Degree)
+            .expect("live members exist");
+        let dist = rebirth_broadcast(&mut n, &mut domains, ns, 2);
+        assert!(domains.superpeers.contains(&ns));
+        assert_eq!(domains.assignment[ns.index()], None, "SPs are not partners");
+        // Nodes in broadcast reach got genuine tree latencies.
+        assert!(dist.iter().flatten().any(|&d| d > 0));
+        assert_eq!(dist[ns.index()], Some(0));
     }
 
     #[test]

@@ -276,6 +276,25 @@ impl AlphaController {
         self.domains[d].dissolved = true;
     }
 
+    /// Re-activates domain `d`'s frozen controller slot after the
+    /// domain was reborn under a replacement SP (§4.3 rebirth). The
+    /// slot unfreezes at the α it was frozen with — the reborn
+    /// membership is essentially the dissolved one, so its operating
+    /// point (and staleness EWMA) carries over — while the epoch's
+    /// query accumulators restart empty and the cost signal re-bases
+    /// on the domain's current cumulative pull bytes (`cum_delta_bytes`
+    /// from `DomainCore::delta_bytes_total`, which survives the
+    /// dissolution). A trajectory sample marks the rebirth instant.
+    pub fn on_rebirth(&mut self, d: usize, now_s: f64, cum_delta_bytes: u64) {
+        let ctl = &mut self.domains[d];
+        ctl.dissolved = false;
+        ctl.epoch_ok = 0;
+        ctl.epoch_stale = 0;
+        ctl.last_delta_bytes = cum_delta_bytes;
+        let alpha = ctl.alpha;
+        ctl.trajectory.push((now_s, alpha));
+    }
+
     /// Runs one control epoch for domain `d` and returns its (possibly
     /// updated) effective α. `cl_stale_fraction` is the cooperation
     /// list's current trigger metric (the fallback staleness signal);

@@ -15,7 +15,7 @@
 //! * **reconciliation** — per-domain α-gated token rings
 //!   ([`DomainCore::maybe_reconcile`]). Rings are *incremental*: the
 //!   token only visits the stale subset of the cooperation list
-//!   ([`RingConversation::stale_route`]); fresh members' contributions
+//!   (`RingConversation::stale_route`); fresh members' contributions
 //!   stay in the domain's [`saintetiq::delta::GsAccumulator`] untouched
 //!   and departed members are expired in O(1), so per-round merge work
 //!   scales with how much actually changed, not with membership (see
@@ -87,14 +87,19 @@ use saintetiq::wire;
 
 use crate::cache::QueryCache;
 use crate::config::{LatencyConfig, SimConfig};
-use crate::construction::{construct_domains, elect_superpeers, handle_sp_departure, Domains};
+use crate::construction::{
+    construct_domains, dissolve_domain, elect_replacement_sp, elect_superpeers,
+    handle_sp_departure, rebirth_broadcast, Domains, ElectionPolicy,
+};
 use crate::control::AlphaController;
 use crate::error::P2pError;
 use crate::freshness::Freshness;
 use crate::messages::Message;
 use crate::metrics::{DomainReport, MultiDomainReport};
-use crate::peerstate::{DomainCore, MessageLedger, PeerState, SummarySnapshot};
-use crate::routing::{LookupConversation, QueryOutcome, RingConversation, RoutingPolicy};
+use crate::peerstate::{empty_accumulator, DomainCore, MessageLedger, PeerState, SummarySnapshot};
+use crate::routing::{
+    LookupConversation, QueryOutcome, RebirthConversation, RingConversation, RoutingPolicy,
+};
 use crate::workload::{generate_peer_data, make_templates, QueryTemplate, ZipfSampler};
 
 /// Sentinel id for the implicit summary peer of the single-domain
@@ -224,6 +229,33 @@ pub enum KernelEvent {
         /// The departing summary peer.
         sp: NodeId,
     },
+    /// Rebirth, step 1 (§4.3 completed): a dissolved domain elects a
+    /// replacement SP from its live hub candidates —
+    /// [`crate::construction::ElectionPolicy::LatencyAware`] on the
+    /// message plane, degree order otherwise. Scheduled only when
+    /// [`crate::config::SimConfig::rebirth`] is set, after the release
+    /// transit (graceful departure) or the failure-detection timeout.
+    SpElection {
+        /// The dissolved domain slot.
+        domain: usize,
+    },
+    /// Rebirth, step 2: the elected SP takes the domain over — the
+    /// slot revives seeded from the retained member descriptions, the
+    /// orphans re-home to the newborn SP, and (on the message plane)
+    /// their `localsum` confirmations start a
+    /// `routing::RebirthConversation`.
+    SpTakeover {
+        /// The reborn domain slot.
+        domain: usize,
+        /// The election winner.
+        sp: NodeId,
+    },
+    /// Latency mode: watchdog of a rebirth hand-over — completes the
+    /// conversation with whatever confirmations arrived.
+    RebirthTimeout {
+        /// The rebirth conversation.
+        conv: u64,
+    },
     /// One control epoch of the maintenance control plane
     /// ([`crate::control`]): every live domain's controller folds the
     /// epoch's measured feedback into its effective α. Scheduled
@@ -274,6 +306,44 @@ pub struct SimKernel {
     /// holding that domain's effective α (fixed, or fed back each
     /// control epoch).
     ctl: AlphaController,
+    /// Dissolved domains awaiting a rebirth election, keyed by slot:
+    /// the retained membership, accumulator and CL flags the reborn
+    /// domain is seeded from ([`crate::config::SimConfig::rebirth`]).
+    pending_rebirths: BTreeMap<usize, RebirthSeed>,
+    /// In-flight rebirth hand-over conversations (latency mode).
+    rebirth_convs: BTreeMap<u64, RebirthConversation>,
+    /// Summary peers that were promoted out of the partner pool by a
+    /// rebirth. When such an SP's own session ends, its node returns
+    /// to the network as a regular (down) peer and its next scheduled
+    /// session join brings it back with a fresh database — without
+    /// this the data population would drain by one peer per rebirth
+    /// and no long horizon could be stationary.
+    promoted_sps: BTreeSet<NodeId>,
+    /// Completed SP rebirths over the run.
+    rebirths: u64,
+    /// `(virtual time, live domains)` samples: the initial point plus
+    /// one per dissolution and per rebirth — the domain-count
+    /// trajectory `BENCH_rebirth.json` plots. Recorded only when SP
+    /// churn is on (empty otherwise).
+    domain_trajectory: Vec<(SimTime, usize)>,
+}
+
+/// What a dissolved domain retains for its rebirth (§4.3 completed):
+/// the membership at dissolution time, the accumulator of member
+/// descriptions (descriptions persist until refreshed or expired —
+/// §4.3; the newborn SP is seeded from them so its first GS build is a
+/// delta hand-over), and the CL freshness flags so only the
+/// already-stale subset needs the first pull.
+struct RebirthSeed {
+    members: Vec<NodeId>,
+    acc: saintetiq::delta::GsAccumulator,
+    flags: BTreeMap<NodeId, Freshness>,
+    /// Set when an election ran and found nobody up: only then does a
+    /// former member's rejoin re-trigger the election. Before that,
+    /// the regularly scheduled [`KernelEvent::SpElection`] (which
+    /// models the release-transit / failure-detection delay) is the
+    /// one that must run first.
+    stalled: bool,
 }
 
 /// The medical workload every kernel mode shares: the CBK plus the
@@ -360,6 +430,11 @@ impl SimKernel {
             domain_errors: 0,
             first_error: None,
             ctl: AlphaController::new(cfg.control_policy(), 1, cfg.alpha),
+            pending_rebirths: BTreeMap::new(),
+            rebirth_convs: BTreeMap::new(),
+            promoted_sps: BTreeSet::new(),
+            rebirths: 0,
+            domain_trajectory: Vec::new(),
         };
         this.schedule_drift_all();
         this.schedule_churn();
@@ -485,6 +560,11 @@ impl SimKernel {
             domain_errors: 0,
             first_error: None,
             ctl: AlphaController::new(cfg.control_policy(), n_domains, cfg.alpha),
+            pending_rebirths: BTreeMap::new(),
+            rebirth_convs: BTreeMap::new(),
+            promoted_sps: BTreeSet::new(),
+            rebirths: 0,
+            domain_trajectory: Vec::new(),
         };
 
         if dynamics.is_some() {
@@ -493,6 +573,7 @@ impl SimKernel {
             this.schedule_inter_queries();
             this.schedule_sp_sessions();
             this.schedule_control();
+            this.record_domain_count();
         }
         Ok(this)
     }
@@ -626,7 +707,12 @@ impl SimKernel {
                         self.cfg.match_fraction,
                         self.cfg.records_per_peer,
                     ) {
-                        self.peers[idx].as_mut().expect("up peer has state").data = data;
+                        let st = self.peers[idx].as_mut().expect("up peer has state");
+                        st.data = data;
+                        // Stays set until the new summary is merged into
+                        // an accumulator — the rebirth seeding signal
+                        // for pushes lost to a dissolving domain.
+                        st.dirty = true;
                     }
                     if let Some(d) = self.domain_of[idx] {
                         if self.lat.is_some() {
@@ -696,7 +782,7 @@ impl SimKernel {
                     }
                     if let Some(d) = self.domain_of[idx] {
                         if self.lat.is_some() {
-                            self.send_localsum(p, d, SimTime::ZERO);
+                            self.send_localsum(p, d, SimTime::ZERO, 0);
                         } else {
                             let alpha = self.alpha_of(d);
                             if let Err(e) =
@@ -706,12 +792,30 @@ impl SimKernel {
                             }
                         }
                     } else if self.cfg.sp_lifetime.is_some() {
+                        // A rejoiner whose former domain still awaits a
+                        // replacement SP re-triggers the stalled
+                        // election instead of walking away — it is a
+                        // live candidate now, so the rebirth that found
+                        // an all-down membership can finally proceed.
+                        let pending = self
+                            .cfg
+                            .rebirth
+                            .then(|| {
+                                self.pending_rebirths
+                                    .iter()
+                                    .find(|(_, seed)| seed.stalled && seed.members.contains(&p))
+                                    .map(|(&d, _)| d)
+                            })
+                            .flatten();
+                        if let Some(d) = pending {
+                            self.handle_sp_election(d);
+                        }
                         // An orphan of a dissolved domain walks to a
                         // surviving one on rejoin (gated on SP churn so
                         // legacy event streams stay byte-identical).
-                        if let Some(d) = self.rehome_orphan(p) {
+                        else if let Some(d) = self.rehome_orphan(p) {
                             if self.lat.is_some() {
-                                self.send_localsum(p, d, SimTime::ZERO);
+                                self.send_localsum(p, d, SimTime::ZERO, 0);
                             } else {
                                 let bytes = self.peers[idx]
                                     .as_ref()
@@ -785,6 +889,18 @@ impl SimKernel {
                 }
             }
             KernelEvent::SpDeparture { sp } => self.handle_sp_departure_event(sp),
+            KernelEvent::SpElection { domain } => self.handle_sp_election(domain),
+            KernelEvent::SpTakeover { domain, sp } => self.handle_sp_takeover(domain, sp),
+            KernelEvent::RebirthTimeout { conv } => {
+                if self.rebirth_convs.get(&conv).is_some_and(|rc| rc.done) {
+                    // Cancelled mid-flight (the reborn SP departed
+                    // again): the watchdog is the last reference, so
+                    // it reaps the entry.
+                    self.rebirth_convs.remove(&conv);
+                } else {
+                    self.finish_rebirth(conv);
+                }
+            }
             KernelEvent::ControlTick => self.control_tick(),
         }
     }
@@ -897,13 +1013,16 @@ impl SimKernel {
 
     /// Sends a (re)joining partner's `localsum` to its domain's SP,
     /// `extra` late (release transit / failure detection for re-homes).
-    fn send_localsum(&mut self, p: NodeId, d: usize, extra: SimTime) {
+    /// `conv` is 0 for fire-and-forget sends; rebirth hand-overs pass
+    /// their conversation id so arrivals confirm the re-home instead
+    /// of re-entering the CL stale.
+    fn send_localsum(&mut self, p: NodeId, d: usize, extra: SimTime, conv: u64) {
         let bytes = self.peers[p.index()]
             .as_ref()
             .map(|s| s.data.summary.len())
             .unwrap_or(0);
         let to = self.sp_node(d);
-        self.send_msg(p, to, Message::LocalSum { bytes }, 0, extra);
+        self.send_msg(p, to, Message::LocalSum { bytes }, conv, extra);
     }
 
     /// Dispatches a delivered message — all protocol effects happen
@@ -914,6 +1033,9 @@ impl SimKernel {
         self.ledger.count_delivery(msg.class(), latency);
         match msg {
             Message::Push { value } => self.deliver_push(from, value),
+            Message::LocalSum { .. } if conv != 0 && self.rebirth_convs.contains_key(&conv) => {
+                self.deliver_rebirth_localsum(conv, from)
+            }
             Message::LocalSum { .. } => self.deliver_localsum(from),
             Message::ReconciliationToken { .. } => self.deliver_token(conv, to),
             Message::Query { template } => {
@@ -1359,6 +1481,10 @@ impl SimKernel {
     /// on the physical network ([`handle_sp_departure`]), the domain
     /// dissolves, and every re-homed partner ships its `localsum` to
     /// its new SP — over the message plane when latency is enabled.
+    /// With [`crate::config::SimConfig::rebirth`] the members are not
+    /// scattered: the domain retains its member descriptions and a
+    /// [`KernelEvent::SpElection`] is scheduled to re-elect a
+    /// replacement SP from the orphaned membership.
     fn handle_sp_departure_event(&mut self, sp: NodeId) {
         let Some(&d) = self.sp_index.get(&sp) else {
             return;
@@ -1386,6 +1512,17 @@ impl SimKernel {
             if let Some(rc) = self.rings.get_mut(&conv) {
                 rc.done = true;
             }
+        }
+        // A reborn domain's SP can itself depart while the hand-over
+        // confirmations are still in flight: cancel that conversation.
+        for rc in self.rebirth_convs.values_mut() {
+            if rc.domain == d {
+                rc.done = true;
+            }
+        }
+        if self.cfg.rebirth {
+            self.dissolve_for_rebirth(d, sp, graceful, members);
+            return;
         }
         {
             let (Some(net), Some(topo)) = (self.net.as_mut(), self.topo.as_mut()) else {
@@ -1424,7 +1561,7 @@ impl SimKernel {
                     let nd = self.sp_index[&nsp];
                     self.domain_of[m.index()] = Some(nd);
                     if self.lat.is_some() {
-                        self.send_localsum(m, nd, delay);
+                        self.send_localsum(m, nd, delay, 0);
                     } else {
                         let bytes = self.peers[m.index()]
                             .as_ref()
@@ -1447,6 +1584,344 @@ impl SimKernel {
                 }
             }
         }
+        self.record_domain_count();
+    }
+
+    /// The rebirth flavour of a §4.3 dissolution: the release /
+    /// detection traffic is paid and the domain dissolves exactly as in
+    /// the terminal path, but instead of walking the orphans to
+    /// surviving domains the kernel retains the membership, the
+    /// accumulator of member descriptions and the CL flags
+    /// ([`RebirthSeed`]), and schedules a [`KernelEvent::SpElection`]
+    /// — after the release transit when the departure was graceful, or
+    /// after the failure-detection timeout when it was silent.
+    fn dissolve_for_rebirth(&mut self, d: usize, sp: NodeId, graceful: bool, members: Vec<NodeId>) {
+        // Move (not clone) the retained descriptions out — dissolve()
+        // is about to discard the original anyway.
+        let acc = std::mem::replace(&mut self.domains[d].acc, empty_accumulator());
+        let flags: BTreeMap<NodeId, Freshness> = self.domains[d]
+            .cl
+            .partners()
+            .map(|p| {
+                (
+                    p,
+                    self.domains[d]
+                        .cl
+                        .freshness(p)
+                        .unwrap_or(Freshness::NeedsRefresh),
+                )
+            })
+            .collect();
+        {
+            let (Some(net), Some(topo)) = (self.net.as_mut(), self.topo.as_mut()) else {
+                return;
+            };
+            dissolve_domain(net, topo, sp, graceful);
+        }
+        // Mirror the §4.3 control traffic in the ledger (the physical
+        // counters live on the network).
+        if graceful {
+            self.ledger.count(&Message::Release, members.len() as u64);
+        } else {
+            self.ledger
+                .count(&Message::Push { value: 1 }, members.len() as u64);
+        }
+        self.sp_index.remove(&sp);
+        self.domains[d].dissolve();
+        self.ctl.on_dissolve(d);
+        for dom in &mut self.domains {
+            dom.long_links.retain(|&l| l != sp);
+        }
+        for &m in &members {
+            self.domain_of[m.index()] = None;
+        }
+        self.pending_rebirths.insert(
+            d,
+            RebirthSeed {
+                members,
+                acc,
+                flags,
+                stalled: false,
+            },
+        );
+        // A promoted SP's session is over, but its node is not gone for
+        // good: it re-enters the partner pool (down, with a fresh
+        // database) and its next scheduled session join revives it —
+        // otherwise every rebirth would permanently drain one peer.
+        if self.promoted_sps.remove(&sp) {
+            if let Ok(data) = generate_peer_data(
+                self.sim.rng(),
+                sp.0,
+                &self.bk,
+                &self.templates,
+                self.cfg.match_fraction,
+                self.cfg.records_per_peer,
+            ) {
+                let mut st = PeerState::new(data);
+                st.up = false;
+                st.merged_bits = 0;
+                st.drift_scheduled = false;
+                self.peers[sp.index()] = Some(st);
+            }
+        }
+        // Graceful: the release names the hand-over, so the election
+        // starts one hop later. Failed: partners first discover the
+        // failure (their next push times out).
+        let delay = match (graceful, self.lat) {
+            (true, Some(lat)) => lat.default_hop,
+            (false, Some(lat)) => lat.conversation_timeout,
+            (_, None) => SimTime::ZERO,
+        };
+        self.sim
+            .schedule_in(delay, KernelEvent::SpElection { domain: d });
+        self.record_domain_count();
+    }
+
+    /// Rebirth, step 1: elect the replacement SP among the dissolved
+    /// domain's live, still-unassigned members — latency-aware on the
+    /// message plane (minimum expected partner round-trip on the
+    /// candidate's broadcast tree), by degree order otherwise. With no
+    /// live candidate the rebirth is abandoned: the domain stays
+    /// dissolved and its members walk to surviving domains as they
+    /// rejoin.
+    fn handle_sp_election(&mut self, d: usize) {
+        let Some(seed) = self.pending_rebirths.get(&d) else {
+            return;
+        };
+        // Members that already walked into another domain during the
+        // orphan window are out: stealing them back would leave two
+        // cooperation lists claiming the same partner.
+        let live: Vec<NodeId> = seed
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| {
+                self.peers[m.index()].as_ref().is_some_and(|s| s.up)
+                    && self.domain_of[m.index()].is_none()
+            })
+            .collect();
+        let policy = match self.lat {
+            Some(lat) => ElectionPolicy::LatencyAware {
+                ttl: self.cfg.sumpeer_ttl,
+                default_hop: lat.default_hop,
+            },
+            None => ElectionPolicy::Degree,
+        };
+        let winner = {
+            let net = self.net.as_ref().expect("networked kernel");
+            elect_replacement_sp(net, &live, &live, policy)
+        };
+        let Some(ns) = winner else {
+            // Nobody is up to take over right now. The seed stays
+            // pending and is marked stalled: the next former member to
+            // rejoin re-triggers the election (event-driven retry — no
+            // polling), so a domain whose membership was momentarily
+            // all-down is not lost forever.
+            if let Some(seed) = self.pending_rebirths.get_mut(&d) {
+                seed.stalled = true;
+            }
+            return;
+        };
+        if let Some(seed) = self.pending_rebirths.get_mut(&d) {
+            seed.stalled = false;
+        }
+        // Election traffic: one candidacy/acknowledgement exchange per
+        // live member (the §4.1 `find` vocabulary, construction class).
+        self.ledger.count(&Message::Find, live.len() as u64);
+        let delay = self.lat.map(|l| l.default_hop).unwrap_or(SimTime::ZERO);
+        self.sim
+            .schedule_in(delay, KernelEvent::SpTakeover { domain: d, sp: ns });
+    }
+
+    /// Rebirth, step 2: the election winner takes over. The winner is
+    /// promoted out of the partner role (its database leaves the
+    /// workload, like every construction-time SP), announces itself
+    /// with a `sumpeer` broadcast whose tree latencies become the
+    /// re-homed partners' distances, and the domain slot revives
+    /// seeded from the retained descriptions — members whose push
+    /// invariant survived the hand-over re-enter `Fresh`, everyone
+    /// else stale, so the first α-gated pull is a delta. On the
+    /// message plane the members' `localsum` confirmations run as a
+    /// [`RebirthConversation`] with a watchdog; in instantaneous mode
+    /// they apply (and may arm the first pull) on the spot.
+    fn handle_sp_takeover(&mut self, d: usize, ns: NodeId) {
+        let Some(seed) = self.pending_rebirths.remove(&d) else {
+            return;
+        };
+        // The winner may have churned out (or walked into another
+        // domain) between election and takeover: re-run the election
+        // over the remaining candidates.
+        if !self.peers[ns.index()].as_ref().is_some_and(|s| s.up)
+            || self.domain_of[ns.index()].is_some()
+        {
+            self.pending_rebirths.insert(d, seed);
+            self.handle_sp_election(d);
+            return;
+        }
+        let now_s = self.sim.now().as_secs_f64();
+        // Promotion: the newborn SP retires from the partner role
+        // (until its own departure returns the node to the pool).
+        self.peers[ns.index()] = None;
+        self.domain_of[ns.index()] = None;
+        self.promoted_sps.insert(ns);
+        let tree_dist = {
+            let (net, topo) = (
+                self.net.as_mut().expect("networked kernel"),
+                self.topo.as_mut().expect("networked kernel"),
+            );
+            rebirth_broadcast(net, topo, ns, self.cfg.sumpeer_ttl)
+        };
+        let live: Vec<NodeId> = seed
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| {
+                m != ns
+                    && self.peers[m.index()].as_ref().is_some_and(|s| s.up)
+                    && self.domain_of[m.index()].is_none()
+            })
+            .collect();
+        let seeded: Vec<(NodeId, Freshness)> = live
+            .iter()
+            .map(|&m| {
+                let old = seed
+                    .flags
+                    .get(&m)
+                    .copied()
+                    .unwrap_or(Freshness::NeedsRefresh);
+                let dirty = self.peers[m.index()].as_ref().is_some_and(|s| s.dirty);
+                // A member whose summary regenerated while its push had
+                // nowhere to land must not be seeded fresh.
+                let f = if dirty && !old.as_stale_bit() {
+                    Freshness::NeedsRefresh
+                } else {
+                    old
+                };
+                (m, f)
+            })
+            .collect();
+        self.domains[d].revive(ns, seeded, seed.acc);
+        self.sp_index.insert(ns, d);
+        self.ctl
+            .on_rebirth(d, now_s, self.domains[d].delta_bytes_total);
+        {
+            let topo = self.topo.as_mut().expect("networked kernel");
+            for &m in &live {
+                topo.assignment[m.index()] = Some(ns);
+                topo.distance[m.index()] = tree_dist[m.index()].unwrap_or(u64::MAX - 1);
+                self.domain_of[m.index()] = Some(d);
+            }
+        }
+        // Long-range links for the newborn SP: sampled without
+        // replacement from the current SP roster, like construction.
+        let k = self.cfg.interdomain_k.round() as usize;
+        let mut candidates: Vec<NodeId> =
+            self.sp_index.keys().copied().filter(|&o| o != ns).collect();
+        candidates.shuffle(self.sim.rng());
+        candidates.truncate(k);
+        candidates.sort_unstable_by_key(|n| n.0);
+        self.domains[d].long_links = candidates;
+        // The newborn SP's own session will end too — that is what
+        // keeps the domain population stationary instead of saved-once.
+        if let Some(lifetimes) = self.cfg.sp_lifetime {
+            let dt = lifetimes.sample(self.sim.rng());
+            self.sim
+                .schedule_in(dt, KernelEvent::SpDeparture { sp: ns });
+        }
+        self.rebirths += 1;
+        self.record_domain_count();
+        // Re-home confirmations: every live member ships its `localsum`
+        // to the newborn SP.
+        if let Some(lat) = self.lat {
+            if !live.is_empty() {
+                let conv = self.next_conv;
+                self.next_conv += 1;
+                self.rebirth_convs.insert(
+                    conv,
+                    RebirthConversation {
+                        domain: d,
+                        outstanding: live.len() as u64,
+                        done: false,
+                    },
+                );
+                for &m in &live {
+                    self.send_localsum(m, d, SimTime::ZERO, conv);
+                }
+                self.sim.schedule_in(
+                    lat.conversation_timeout,
+                    KernelEvent::RebirthTimeout { conv },
+                );
+            }
+        } else {
+            for &m in &live {
+                let bytes = self.peers[m.index()]
+                    .as_ref()
+                    .map(|s| s.data.summary.len())
+                    .unwrap_or(0);
+                self.ledger.count(&Message::LocalSum { bytes }, 1);
+            }
+            let alpha = self.alpha_of(d);
+            if let Err(e) =
+                self.domains[d].maybe_reconcile(alpha, &mut self.peers, &mut self.ledger)
+            {
+                self.note_error(e);
+            }
+        }
+    }
+
+    /// A rebirth hand-over `localsum` arrives at the newborn SP. The
+    /// member was seeded at takeover; the arrival re-validates it — a
+    /// member that churned out while its confirmation was in flight is
+    /// flagged `Unavailable` so the next pull expires it.
+    fn deliver_rebirth_localsum(&mut self, conv: u64, from: NodeId) {
+        let Some(rc) = self.rebirth_convs.get_mut(&conv) else {
+            return;
+        };
+        if rc.done {
+            return;
+        }
+        rc.outstanding = rc.outstanding.saturating_sub(1);
+        let d = rc.domain;
+        let outstanding = rc.outstanding;
+        let up = self.peers[from.index()].as_ref().is_some_and(|s| s.up);
+        if !up && !self.domains[d].dissolved {
+            self.domains[d]
+                .cl
+                .set_freshness(from, Freshness::Unavailable);
+        }
+        if outstanding == 0 {
+            self.finish_rebirth(conv);
+        }
+    }
+
+    /// Completes a rebirth hand-over (all confirmations in, or
+    /// watchdog): the reborn domain's seeded staleness may arm its
+    /// first — delta — pull immediately.
+    fn finish_rebirth(&mut self, conv: u64) {
+        let Some(rc) = self.rebirth_convs.get_mut(&conv) else {
+            return;
+        };
+        if rc.done {
+            return;
+        }
+        rc.done = true;
+        let d = rc.domain;
+        self.rebirth_convs.remove(&conv);
+        if !self.domains[d].dissolved {
+            self.maybe_start_ring(d);
+        }
+    }
+
+    /// Samples the live-domain count into the trajectory
+    /// (`BENCH_rebirth.json`'s stationarity evidence). Only meaningful
+    /// under SP churn; a no-op otherwise so existing reports stay
+    /// unchanged.
+    fn record_domain_count(&mut self) {
+        if self.cfg.sp_lifetime.is_none() || self.net.is_none() {
+            return;
+        }
+        let live = self.live_domains();
+        self.domain_trajectory.push((self.sim.now(), live));
     }
 
     /// Walks an orphaned rejoiner (§4.1's `find`) to the nearest
@@ -1480,6 +1955,36 @@ impl SimKernel {
         topo.distance[p.index()] = u64::MAX - 1;
         self.domain_of[p.index()] = Some(d);
         Some(d)
+    }
+
+    /// Completed SP rebirths so far
+    /// ([`crate::config::SimConfig::rebirth`]).
+    pub fn rebirths(&self) -> u64 {
+        self.rebirths
+    }
+
+    /// Domains currently live (not dissolved).
+    pub fn live_domains(&self) -> usize {
+        self.domains.iter().filter(|d| !d.dissolved).count()
+    }
+
+    /// Debug / verification probe: checks every live domain's
+    /// incrementally maintained GS against its from-scratch
+    /// [`DomainCore::full_rebuild_oracle`], byte-for-byte. After a
+    /// completed reconciliation round in instantaneous mode the two
+    /// must agree — including for domains reborn from retained
+    /// descriptions (the rebirth property tests rely on this probe).
+    pub fn live_gs_matches_oracle(&self) -> Result<bool, P2pError> {
+        for dom in &self.domains {
+            if dom.dissolved {
+                continue;
+            }
+            let oracle = dom.full_rebuild_oracle(&self.peers)?;
+            if wire::encode(&dom.gs) != wire::encode(&oracle) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// Messages currently in flight on the message plane.
@@ -1797,7 +2302,7 @@ impl SimKernel {
         outcomes.sort_by_key(|o| o.0);
         let mut report = MultiDomainReport::from_run(
             &self.cfg,
-            self.domains.iter().filter(|d| !d.dissolved).count(),
+            self.live_domains(),
             &outcomes,
             &self.ledger,
             reconciliations,
@@ -1813,6 +2318,23 @@ impl SimKernel {
         report.alpha_trajectories = (0..self.domains.len())
             .map(|d| self.ctl.trajectory(d).to_vec())
             .collect();
+        report.rebirths = self.rebirths;
+        report.domain_count_trajectory = self
+            .domain_trajectory
+            .iter()
+            .map(|&(t, n)| (t.as_secs_f64(), n))
+            .collect();
+        report.initial_domains = self
+            .domain_trajectory
+            .first()
+            .map(|&(_, n)| n)
+            .unwrap_or(report.n_domains);
+        report.min_live_domains = self
+            .domain_trajectory
+            .iter()
+            .map(|&(_, n)| n)
+            .min()
+            .unwrap_or(report.n_domains);
         report
     }
 
@@ -1946,6 +2468,22 @@ impl MultiDomainSim {
     /// Mean CL stale fraction across domains.
     pub fn mean_stale_fraction(&self) -> f64 {
         self.kernel.mean_stale_fraction()
+    }
+
+    /// Completed SP rebirths so far.
+    pub fn rebirths(&self) -> u64 {
+        self.kernel.rebirths()
+    }
+
+    /// Domains currently live (not dissolved).
+    pub fn live_domains(&self) -> usize {
+        self.kernel.live_domains()
+    }
+
+    /// Checks every live domain's GS against its from-scratch oracle
+    /// (see [`SimKernel::live_gs_matches_oracle`]).
+    pub fn gs_matches_oracle(&self) -> Result<bool, P2pError> {
+        self.kernel.live_gs_matches_oracle()
     }
 
     /// Fraction of assigned peers currently live.

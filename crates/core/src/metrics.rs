@@ -302,6 +302,21 @@ pub struct MultiDomainReport {
     /// indexed by domain slot (dissolved slots keep the trajectory they
     /// had at dissolution time).
     pub alpha_trajectories: Vec<Vec<(f64, f64)>>,
+    /// Completed SP rebirths over the run
+    /// ([`crate::config::SimConfig::rebirth`]; 0 when disabled).
+    pub rebirths: u64,
+    /// `(virtual seconds, live domains)` trajectory: the initial point
+    /// plus one sample per dissolution and per rebirth. Empty unless
+    /// SP churn ([`crate::config::SimConfig::sp_lifetime`]) is on.
+    /// With rebirth enabled this stays near its initial value over
+    /// long horizons; without it the count decays monotonically —
+    /// `BENCH_rebirth.json`'s stationarity evidence.
+    pub domain_count_trajectory: Vec<(f64, usize)>,
+    /// Live domains at t = 0 (equals [`MultiDomainReport::n_domains`]
+    /// when no SP ever departed).
+    pub initial_domains: usize,
+    /// Minimum live-domain count ever sampled over the run.
+    pub min_live_domains: usize,
 }
 
 impl MultiDomainReport {
@@ -371,6 +386,35 @@ impl MultiDomainReport {
             final_alphas: Vec::new(),
             mean_final_alpha: cfg.alpha,
             alpha_trajectories: Vec::new(),
+            rebirths: 0,
+            domain_count_trajectory: Vec::new(),
+            initial_domains: n_domains,
+            min_live_domains: n_domains,
+        }
+    }
+
+    /// Time-weighted mean of the live-domain count over the trajectory
+    /// (each sample holds until the next; the last holds to the
+    /// horizon). Falls back to the final count when SP churn never
+    /// sampled a trajectory. The `BENCH_rebirth.json` stationarity
+    /// check compares this against [`MultiDomainReport::initial_domains`].
+    pub fn mean_live_domains(&self) -> f64 {
+        if self.domain_count_trajectory.is_empty() {
+            return self.n_domains as f64;
+        }
+        let mut weighted = 0.0;
+        let mut last_t = 0.0;
+        let mut last_n = self.domain_count_trajectory[0].1 as f64;
+        for &(t, n) in &self.domain_count_trajectory {
+            weighted += last_n * (t - last_t).max(0.0);
+            last_t = t;
+            last_n = n as f64;
+        }
+        weighted += last_n * (self.horizon_s - last_t).max(0.0);
+        if self.horizon_s > 0.0 {
+            weighted / self.horizon_s
+        } else {
+            last_n
         }
     }
 

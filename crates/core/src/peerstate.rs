@@ -97,6 +97,14 @@ pub struct PeerState {
     /// True while a drift event is in flight for this peer — prevents
     /// rejoin cycles from stacking duplicate drift streams.
     pub drift_scheduled: bool,
+    /// True when the local summary was regenerated (drift) since its
+    /// contribution was last merged into a domain accumulator. The
+    /// push protocol normally mirrors this in the CL flag, but a push
+    /// can be lost when its domain dissolves mid-flight (§4.3) or the
+    /// peer drifts while orphaned; SP rebirth consults this bit when
+    /// seeding a reborn domain so such members are re-flagged stale
+    /// instead of silently serving outdated descriptions.
+    pub dirty: bool,
 }
 
 impl PeerState {
@@ -107,6 +115,7 @@ impl PeerState {
             merged_bits: data.match_bits,
             data,
             drift_scheduled: true,
+            dirty: false,
         }
     }
 }
@@ -312,6 +321,37 @@ impl DomainCore {
         self.long_links.clear();
     }
 
+    /// Re-activates a dissolved domain slot under a freshly elected
+    /// summary peer (§4.3 rebirth). `seeded` is the reborn membership
+    /// with per-member seed freshness — `Fresh` when the member's
+    /// retained description is known current (the push-protocol
+    /// invariant held across the hand-over), stale otherwise — and
+    /// `acc` is the accumulator retained from the dissolved domain.
+    /// Contributions of peers outside the reborn membership (the
+    /// promoted SP itself, members that departed during the orphan
+    /// window) are expired, and the first GS is stored straight from
+    /// the surviving contributions: a delta hand-over, not a
+    /// from-scratch rebuild — the next α-gated pull visits only the
+    /// stale-seeded subset.
+    pub fn revive(&mut self, sp: NodeId, seeded: Vec<(NodeId, Freshness)>, acc: GsAccumulator) {
+        self.dissolved = false;
+        self.sp = Some(sp);
+        self.acc = acc;
+        self.cl = CooperationList::new();
+        self.members = seeded.iter().map(|&(m, _)| m).collect();
+        for &(m, f) in &seeded {
+            self.cl.add_partner(m, f);
+        }
+        let keep: std::collections::BTreeSet<SourceId> =
+            self.members.iter().map(|m| SourceId(m.0)).collect();
+        let drop: Vec<SourceId> = self.acc.sources().filter(|s| !keep.contains(s)).collect();
+        for s in drop {
+            self.acc.remove_source(s);
+        }
+        self.long_links.clear();
+        self.store_merged();
+    }
+
     /// Stores the accumulator's canonical merged view as the GS.
     fn store_merged(&mut self) {
         self.gs = self.acc.build_merged();
@@ -333,6 +373,7 @@ impl DomainCore {
             .acc
             .update_source_encoded(SourceId(m.0), &st.data.summary)?;
         st.merged_bits = st.data.match_bits;
+        st.dirty = false;
         Ok(bytes)
     }
 
@@ -410,7 +451,7 @@ impl DomainCore {
     /// Token bytes are charged per hop at the token's *cumulative* size
     /// — `NewGS` grows as it collects the stale members' summaries, so
     /// early hops are cheap and the final store hop carries everything,
-    /// matching [`crate::routing::RingConversation::token_bytes`] on
+    /// matching `routing::RingConversation::token_bytes` on
     /// the latency plane. A round that visits nobody (every stale entry
     /// was a departed member) circulates no token at all — the SP just
     /// expires them and stores locally, exactly like the latency
@@ -546,6 +587,12 @@ impl DomainCore {
                 .update_source_encoded(SourceId(snap.peer.0), &snap.summary)?;
             if let Some(st) = peers.get_mut(snap.peer.index()).and_then(|s| s.as_mut()) {
                 st.merged_bits = snap.match_bits;
+                // The merged contribution is current again — unless the
+                // member drifted after the token passed it, in which
+                // case its (re-armed) flag and dirty bit both stand.
+                if st.data.summary == snap.summary {
+                    st.dirty = false;
+                }
             }
             work.merged += 1;
             work.delta_bytes += snap.summary.len() as u64;
@@ -858,6 +905,89 @@ mod tests {
         assert_eq!(core.gs.all_sources().len(), 0);
         assert!(!core.apply_push(NodeId(1), Freshness::NeedsRefresh));
         assert!(!core.apply_localsum(NodeId(1)));
+    }
+
+    #[test]
+    fn revive_seeds_a_delta_domain_from_retained_descriptions() {
+        let (mut core, mut peers) = domain_with_peers(10);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
+        // Two members drift before the SP departs; their flags are
+        // stale at dissolution time.
+        drift(&mut core, &mut peers, 2, 301);
+        drift(&mut core, &mut peers, 6, 302);
+        // §4.3 rebirth: snapshot the seed, dissolve, revive under a
+        // promoted member (peer 0) with the retained state. Peer 9
+        // departed during the window; everyone else re-homes.
+        let acc = core.acc.clone();
+        let flags: Vec<(NodeId, Freshness)> = core
+            .cl
+            .partners()
+            .map(|p| (p, core.cl.freshness(p).unwrap()))
+            .collect();
+        core.dissolve();
+        peers[9].as_mut().unwrap().up = false;
+        let seeded: Vec<(NodeId, Freshness)> = flags
+            .into_iter()
+            .filter(|&(m, _)| m != NodeId(0) && m != NodeId(9))
+            .collect();
+        core.revive(NodeId(0), seeded, acc);
+        assert!(!core.dissolved);
+        assert_eq!(core.sp, Some(NodeId(0)));
+        assert_eq!(core.members.len(), 8);
+        // The first GS is stored straight from the surviving
+        // contributions — no member was decoded again.
+        assert_eq!(core.gs.all_sources().len(), 8);
+        assert!(!core.acc.contains(SourceId(0)), "promoted SP expired");
+        assert!(!core.acc.contains(SourceId(9)), "departed member expired");
+        assert_eq!(core.cl.freshness(NodeId(2)), Some(Freshness::NeedsRefresh));
+        assert_eq!(core.cl.freshness(NodeId(3)), Some(Freshness::Fresh));
+        // The first pull is a delta: only the two stale-seeded members
+        // are visited, everyone else's contribution is reused.
+        let work = core.reconcile(&mut peers, &mut ledger).unwrap();
+        assert_eq!((work.merged, work.skipped, work.removed), (2, 6, 0));
+        let oracle = core.full_rebuild_oracle(&peers).unwrap();
+        assert_eq!(
+            wire::encode(&core.gs),
+            wire::encode(&oracle),
+            "reborn incremental GS must match the from-scratch rebuild"
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_clears_dirty_only_when_current() {
+        let (mut core, mut peers) = domain_with_peers(4);
+        let mut ledger = MessageLedger::new();
+        core.enroll_all(&mut peers, &mut ledger).unwrap();
+        // Snapshot peer 1, then drift it after the token passed.
+        let snap = {
+            let st = peers[1].as_ref().unwrap();
+            SummarySnapshot {
+                peer: NodeId(1),
+                summary: st.data.summary.clone(),
+                match_bits: st.data.match_bits,
+            }
+        };
+        drift(&mut core, &mut peers, 1, 400);
+        peers[1].as_mut().unwrap().dirty = true;
+        core.reconcile_from_snapshots(&[snap], &mut peers, &mut ledger)
+            .unwrap();
+        assert!(
+            peers[1].as_ref().unwrap().dirty,
+            "a post-snapshot drift keeps the dirty bit"
+        );
+        // A current snapshot clears it.
+        let snap2 = {
+            let st = peers[1].as_ref().unwrap();
+            SummarySnapshot {
+                peer: NodeId(1),
+                summary: st.data.summary.clone(),
+                match_bits: st.data.match_bits,
+            }
+        };
+        core.reconcile_from_snapshots(&[snap2], &mut peers, &mut ledger)
+            .unwrap();
+        assert!(!peers[1].as_ref().unwrap().dirty);
     }
 
     #[test]

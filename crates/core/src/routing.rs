@@ -114,6 +114,27 @@ impl RingConversation {
     }
 }
 
+/// State of one latency-mode SP-rebirth hand-over (§4.3 rebirth as a
+/// multi-event conversation): at takeover every live member of the
+/// reborn domain ships a `localsum` confirmation to the newborn SP as
+/// a scheduled delivery. The domain is already seeded (descriptions
+/// were retained across the dissolution), so each arrival only
+/// re-validates the member — one that churned out while its
+/// confirmation was in flight is flagged `Unavailable` for the next
+/// pull. The conversation completes when every confirmation landed or
+/// the watchdog fires; completion re-checks α so a stale-seeded
+/// membership can arm the reborn domain's first (delta) pull at once.
+#[derive(Debug)]
+pub(crate) struct RebirthConversation {
+    /// The reborn domain slot.
+    pub domain: usize,
+    /// `localsum` confirmations still in flight.
+    pub outstanding: u64,
+    /// Set once completion ran: late deliveries and the unfired
+    /// watchdog become no-ops.
+    pub done: bool,
+}
+
 /// State of one latency-mode inter-domain lookup (§5.2.2 as a
 /// multi-event conversation): query deliveries fan out to domain SPs,
 /// per-peer answers and flood discoveries come back as further

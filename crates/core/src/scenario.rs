@@ -437,6 +437,79 @@ pub fn figure_alpha_adaptive(
     Ok(out)
 }
 
+/// One row of the SP-rebirth stationarity experiment
+/// ([`figure_rebirth`]): one long-horizon SP-churn run with rebirth
+/// off (terminal dissolutions, monotone domain decay) or on
+/// (latency-aware re-election keeps the population stationary).
+#[derive(Debug, Clone)]
+pub struct RebirthPoint {
+    /// Whether SP rebirth was enabled for this run.
+    pub rebirth: bool,
+    /// Live domains at t = 0.
+    pub initial_domains: usize,
+    /// Live domains at the horizon.
+    pub final_domains: usize,
+    /// Minimum live-domain count ever sampled.
+    pub min_live_domains: usize,
+    /// Time-weighted mean live-domain count over the horizon.
+    pub mean_live_domains: f64,
+    /// Completed SP rebirths.
+    pub rebirths: u64,
+    /// Mean network-wide recall over the sampled lookups.
+    pub mean_recall: f64,
+    /// Mean stale answers per lookup.
+    pub mean_stale_answers: f64,
+    /// Reconciliation rounds across all domains.
+    pub reconciliations: u64,
+    /// Full report (carries `domain_count_trajectory`).
+    pub report: MultiDomainReport,
+}
+
+/// Enables summary-peer churn on a configuration: every SP's session
+/// ends after an exponential lifetime of the given mean, triggering
+/// §4.3 dissolution (and, with [`SimConfig::rebirth`], re-election).
+pub fn with_sp_churn(cfg: &SimConfig, mean_lifetime_s: f64) -> SimConfig {
+    let mut out = *cfg;
+    out.sp_lifetime = Some(LifetimeDistribution::Exponential {
+        mean_s: mean_lifetime_s,
+    });
+    out
+}
+
+/// The SP-rebirth experiment: the same long-horizon SP-churn run twice
+/// — rebirth off, then on. Without rebirth every departure is terminal
+/// and the live-domain count decays monotonically toward zero; with it
+/// each dissolved domain re-elects a replacement SP from its own live
+/// hubs (latency-aware on the message plane) and the count stays near
+/// its initial value — the stationarity `BENCH_rebirth.json` checks
+/// (time-weighted mean within ±10% of the initial count).
+pub fn figure_rebirth(
+    base: &SimConfig,
+    sp_mean_lifetime_s: f64,
+    domain_target: usize,
+    target: LookupTarget,
+) -> Result<Vec<RebirthPoint>, P2pError> {
+    let mut out = Vec::new();
+    for enabled in [false, true] {
+        let mut cfg = with_sp_churn(base, sp_mean_lifetime_s);
+        cfg.rebirth = enabled;
+        let report = MultiDomainSim::new(cfg, domain_target, target)?.run();
+        out.push(RebirthPoint {
+            rebirth: enabled,
+            initial_domains: report.initial_domains,
+            final_domains: report.n_domains,
+            min_live_domains: report.min_live_domains,
+            mean_live_domains: report.mean_live_domains(),
+            rebirths: report.rebirths,
+            mean_recall: report.mean_recall,
+            mean_stale_answers: report.mean_stale_answers,
+            reconciliations: report.reconciliations,
+            report,
+        });
+    }
+    Ok(out)
+}
+
 /// One point of the full-vs-incremental reconciliation cost sweep
 /// ([`reconcile_cost_sweep`]): a single α-gated pull over a domain of
 /// `n` members of which `stale_members` drifted, measured both ways.
@@ -679,6 +752,31 @@ mod tests {
             assert!((0.0..=1.0 + 1e-12).contains(&r.stale_answer_fraction));
             assert!(r.report.queries > 0);
         }
+    }
+
+    #[test]
+    fn rebirth_rows_show_decay_vs_stationarity() {
+        let mut base = quick_base();
+        base.n_peers = 150;
+        base.horizon = SimTime::from_hours(8);
+        let rows = figure_rebirth(&base, 3600.0, 25, LookupTarget::Total).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(!rows[0].rebirth && rows[1].rebirth);
+        assert_eq!(rows[0].rebirths, 0, "no rebirths when disabled");
+        assert!(rows[1].rebirths > 0, "departures trigger re-elections");
+        assert!(
+            rows[0].final_domains < rows[0].initial_domains,
+            "terminal dissolutions decay the population"
+        );
+        assert!(
+            rows[1].mean_live_domains > rows[0].mean_live_domains,
+            "rebirth keeps more domains alive on average"
+        );
+        // The trajectory starts at the initial count and is sampled on
+        // every dissolution/rebirth.
+        let traj = &rows[1].report.domain_count_trajectory;
+        assert_eq!(traj.first().map(|&(_, n)| n), Some(rows[1].initial_domains));
+        assert!(traj.len() > 2);
     }
 
     #[test]
